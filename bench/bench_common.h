@@ -1,0 +1,93 @@
+// Shared plumbing for the figure-reproduction benchmark binaries.
+//
+// Scale defaults are sized for this repository's single-core CI-style
+// environment; the paper's full scale is reached with environment variables:
+//   PAC_KEYS=64m PAC_OPS=64m PAC_THREADS="1 16 32 48 64 80 96 112" <bench>
+// Each binary prints the rows/series of the corresponding paper figure.
+#ifndef PACTREE_BENCH_BENCH_COMMON_H_
+#define PACTREE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/env.h"
+#include "src/index/range_index.h"
+#include "src/nvm/config.h"
+#include "src/nvm/bandwidth.h"
+#include "src/sync/epoch.h"
+#include "src/workload/ycsb.h"
+
+namespace pactree {
+
+struct BenchScale {
+  uint64_t keys;
+  uint64_t ops;
+  std::vector<uint32_t> threads;
+};
+
+inline BenchScale ReadScale(uint64_t default_keys = 1'000'000,
+                            uint64_t default_ops = 1'000'000,
+                            const std::string& default_threads = "1 2 4") {
+  BenchScale s;
+  s.keys = EnvU64("PAC_KEYS", default_keys);
+  s.ops = EnvU64("PAC_OPS", default_ops);
+  std::istringstream in(EnvStr("PAC_THREADS", default_threads));
+  uint32_t t;
+  while (in >> t) {
+    s.threads.push_back(t);
+  }
+  if (s.threads.empty()) {
+    s.threads.push_back(1);
+  }
+  return s;
+}
+
+// Applies the default emulated-NVM machine model used by the figure benches
+// (2 NUMA nodes, snoop coherence, latency emulation on; bandwidth throttling
+// opt-in per figure because it dominates wall-clock).
+inline void ConfigureNvmMachine(bool latency = true, bool bandwidth = false) {
+  NvmConfig& cfg = GlobalNvmConfig();
+  cfg = NvmConfig();
+  cfg.numa_nodes = 2;
+  cfg.emulate_latency = latency;
+  cfg.emulate_bandwidth = bandwidth;
+  BandwidthModel::Instance().Reconfigure();
+}
+
+inline void Banner(const char* fig, const char* what) {
+  std::printf("# %s -- %s\n", fig, what);
+  std::printf("# scale: PAC_KEYS / PAC_OPS / PAC_THREADS environment variables\n");
+  std::fflush(stdout);
+}
+
+// Creates + loads an index, returning it ready for a run phase.
+inline std::unique_ptr<RangeIndex> MakeLoaded(IndexKind kind, const YcsbSpec& spec,
+                                              IndexFactoryOptions opts = {}) {
+  if (opts.pool_size == 512ULL << 20) {
+    // Size pools generously for the requested key count (3 KiB/key covers the
+    // fattest index here, plus slack for 2 sub-pools).
+    opts.pool_size = std::max<size_t>(512ULL << 20, spec.record_count * 3072 * 2);
+  }
+  opts.string_keys = spec.string_keys;
+  auto index = CreateIndex(kind, opts);
+  if (index == nullptr) {
+    std::fprintf(stderr, "failed to create %s\n", IndexKindName(kind));
+    return nullptr;
+  }
+  YcsbDriver::Load(index.get(), spec);
+  index->Drain();
+  return index;
+}
+
+inline void CleanupIndex(std::unique_ptr<RangeIndex> index, IndexKind kind) {
+  std::string name = index->Name();
+  index.reset();
+  EpochManager::Instance().DrainAll();
+  DestroyIndex(kind, "");
+}
+
+}  // namespace pactree
+
+#endif  // PACTREE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,47 @@
+// Figure 2: directory vs. snoop cache-coherence protocol (finding FH5).
+//
+// FastFair, YCSB-A, integer keys, thread sweep. Under the directory protocol a
+// remote read miss writes coherence state to the 3D-XPoint media, consuming
+// the scarce write bandwidth; with bandwidth emulation enabled the directory
+// curve plateaus while snoop keeps scaling -- the paper's meltdown.
+#include "bench/bench_common.h"
+
+using namespace pactree;
+
+int main() {
+  Banner("Figure 2", "FastFair YCSB-A throughput: directory vs snoop coherence");
+  BenchScale scale = ReadScale(500'000, 300'000);
+  std::printf("%-10s %10s %14s %14s %16s\n", "protocol", "threads", "Mops/s",
+              "remote_reads", "directory_wr(MB)");
+  for (CoherenceProtocol proto :
+       {CoherenceProtocol::kDirectory, CoherenceProtocol::kSnoop}) {
+    for (uint32_t t : scale.threads) {
+      ConfigureNvmMachine(/*latency=*/true, /*bandwidth=*/true);
+      // The meltdown only shows when the workload is bandwidth-bound: model a
+      // single-DIMM-per-node configuration with scarce write bandwidth.
+      GlobalNvmConfig().read_bw_mbps = 350;
+      GlobalNvmConfig().write_bw_mbps = 110;
+      BandwidthModel::Instance().Reconfigure();
+      GlobalNvmConfig().coherence = proto;
+      YcsbSpec spec;
+      spec.kind = YcsbKind::kA;
+      spec.record_count = scale.keys;
+      spec.op_count = scale.ops;
+      spec.threads = t;
+      spec.string_keys = false;
+      spec.zipfian = true;
+      auto index = MakeLoaded(IndexKind::kFastFair, spec);
+      if (index == nullptr) {
+        return 1;
+      }
+      YcsbResult r = YcsbDriver::Run(index.get(), spec);
+      std::printf("%-10s %10u %14.3f %14llu %16.1f\n",
+                  proto == CoherenceProtocol::kDirectory ? "directory" : "snoop", t,
+                  r.mops, static_cast<unsigned long long>(r.nvm.remote_reads),
+                  static_cast<double>(r.nvm.directory_writes) * 64 / 1e6);
+      std::fflush(stdout);
+      CleanupIndex(std::move(index), IndexKind::kFastFair);
+    }
+  }
+  return 0;
+}

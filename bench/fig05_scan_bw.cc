@@ -1,0 +1,39 @@
+// Figure 5: scan throughput and NVM reads (guideline GA5).
+//
+// FastFair embeds sorted key-value pairs in its leaves: scans are sequential
+// XPLine reads. PDL-ART chases one out-of-node record per key: random reads.
+// The paper reports FastFair 1.5x faster with 1.6x fewer NVM reads.
+#include "bench/bench_common.h"
+
+using namespace pactree;
+
+int main() {
+  Banner("Figure 5", "scan throughput and NVM reads: FastFair vs PDL-ART");
+  BenchScale scale = ReadScale(1'000'000, 100'000, "4");
+  uint32_t threads = scale.threads.back();
+  std::printf("%-10s %10s %12s %14s %16s\n", "index", "threads", "Kscans/s",
+              "nvm_read(GB)", "rd_bytes/scan");
+  for (IndexKind kind : {IndexKind::kFastFair, IndexKind::kPdlArt}) {
+    ConfigureNvmMachine();
+    YcsbSpec spec;
+    spec.kind = YcsbKind::kE;
+    spec.record_count = scale.keys;
+    spec.op_count = scale.ops;
+    spec.threads = threads;
+    spec.string_keys = false;
+    spec.zipfian = false;
+    spec.scan_max_len = 100;
+    auto index = MakeLoaded(kind, spec);
+    if (index == nullptr) {
+      return 1;
+    }
+    YcsbResult r = YcsbDriver::Run(index.get(), spec);
+    std::printf("%-10s %10u %12.1f %14.3f %16.1f\n", index->Name().c_str(), threads,
+                r.mops * 1000, static_cast<double>(r.nvm.media_read_bytes) / 1e9,
+                static_cast<double>(r.nvm.media_read_bytes) / static_cast<double>(r.ops));
+    std::fflush(stdout);
+    CleanupIndex(std::move(index), kind);
+  }
+  std::printf("# paper shape: FastFair ~1.5x faster scans with ~1.6x fewer reads\n");
+  return 0;
+}

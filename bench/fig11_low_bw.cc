@@ -1,0 +1,50 @@
+// Figure 11: performance on a LOW-BANDWIDTH NVM machine.
+//
+// The paper's second platform has ~3x less cumulative NVM bandwidth; the gap
+// between PACTree and PDL-ART widens because asynchronous search-layer updates
+// save critical-path bandwidth. Emulated here by throttling the token buckets
+// to one third and enabling bandwidth emulation.
+#include "bench/bench_common.h"
+
+using namespace pactree;
+
+int main() {
+  Banner("Figure 11", "uniform YCSB on a low-bandwidth NVM machine (1/3 bandwidth)");
+  BenchScale scale = ReadScale(1'000'000, 200'000, "4");
+  uint32_t threads = scale.threads.back();
+  YcsbDriver::PrintHeader();
+  for (IndexKind kind : {IndexKind::kPacTree, IndexKind::kPdlArt, IndexKind::kBzTree,
+                         IndexKind::kFastFair, IndexKind::kFpTree}) {
+    ConfigureNvmMachine(/*latency=*/true, /*bandwidth=*/true);
+    GlobalNvmConfig().read_bw_mbps = 2000;  // ~1/3 of the default machine
+    GlobalNvmConfig().write_bw_mbps = 700;
+    BandwidthModel::Instance().Reconfigure();
+
+    YcsbSpec spec;
+    spec.record_count = scale.keys;
+    spec.op_count = scale.ops;
+    spec.threads = threads;
+    spec.string_keys = false;
+    spec.zipfian = false;  // the paper's Figure 11 uses uniform workloads
+
+    spec.kind = YcsbKind::kLoadA;
+    IndexFactoryOptions o;
+    o.pool_size = std::max<size_t>(512ULL << 20, scale.keys * 3072 * 2);
+    auto index = CreateIndex(kind, o);
+    if (index == nullptr) {
+      continue;
+    }
+    YcsbResult load = YcsbDriver::Load(index.get(), spec);
+    YcsbDriver::PrintRow(index->Name(), spec, load);
+    index->Drain();
+    for (YcsbKind wl : {YcsbKind::kA, YcsbKind::kB, YcsbKind::kC, YcsbKind::kE}) {
+      spec.kind = wl;
+      YcsbResult r = YcsbDriver::Run(index.get(), spec);
+      YcsbDriver::PrintRow(index->Name(), spec, r);
+    }
+    CleanupIndex(std::move(index), kind);
+  }
+  std::printf("# paper shape: PACTree's lead over PDL-ART widens (+0.5x writes,\n"
+              "# +1.5x reads) when NVM bandwidth is the binding constraint\n");
+  return 0;
+}

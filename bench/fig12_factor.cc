@@ -1,0 +1,81 @@
+// Figure 12: factor analysis of the PACTree design.
+//
+// Starting from PDL-ART with a single pool ("ART(SC)"), features are added one
+// at a time: per-NUMA pools, slotted leaf nodes (the PACTree data layer),
+// selective persistence of the permutation array, asynchronous search-layer
+// update, and finally a DRAM-resident search layer for reference (the paper
+// finds <10% benefit, justifying NVM placement).
+#include "bench/bench_common.h"
+
+using namespace pactree;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  IndexKind kind;
+  bool per_numa;
+  bool selective_persistence;
+  bool async_update;
+  bool dram_sl;
+};
+
+constexpr Variant kVariants[] = {
+    {"ART(SC)", IndexKind::kPdlArt, false, false, false, false},
+    {"+PerNUMA", IndexKind::kPdlArt, true, false, false, false},
+    {"+SlottedLeaf", IndexKind::kPacTree, true, false, false, false},
+    {"+SelectPersist", IndexKind::kPacTree, true, true, false, false},
+    {"+AsyncUpdate", IndexKind::kPacTree, true, true, true, false},
+    {"DRAM-SL", IndexKind::kPacTree, true, true, true, true},
+};
+
+}  // namespace
+
+int main() {
+  Banner("Figure 12", "factor analysis: ART(SC) -> full PACTree -> DRAM search layer");
+  BenchScale scale = ReadScale(1'000'000, 300'000, "4");
+  uint32_t threads = scale.threads.back();
+  std::printf("%-16s", "variant");
+  for (const char* wl : {"L-A", "W-A", "W-B", "W-C", "W-E"}) {
+    std::printf(" %10s", wl);
+  }
+  std::printf("   (Mops/s, string keys, Zipfian, %u threads)\n", threads);
+
+  for (const Variant& v : kVariants) {
+    ConfigureNvmMachine();
+    YcsbSpec spec;
+    spec.record_count = scale.keys;
+    spec.op_count = scale.ops;
+    spec.threads = threads;
+    spec.string_keys = true;
+    spec.zipfian = true;
+
+    IndexFactoryOptions o;
+    o.pool_size = std::max<size_t>(512ULL << 20, scale.keys * 3072 * 2);
+    o.per_numa_pools = v.per_numa;
+    o.pactree_async_update = v.async_update;
+    o.pactree_selective_persistence = v.selective_persistence;
+    o.pactree_dram_search_layer = v.dram_sl;
+    auto index = CreateIndex(v.kind, o);
+    if (index == nullptr) {
+      continue;
+    }
+    std::printf("%-16s", v.label);
+    spec.kind = YcsbKind::kLoadA;
+    YcsbResult load = YcsbDriver::Load(index.get(), spec);
+    std::printf(" %10.3f", load.mops);
+    index->Drain();
+    for (YcsbKind wl : {YcsbKind::kA, YcsbKind::kB, YcsbKind::kC, YcsbKind::kE}) {
+      spec.kind = wl;
+      YcsbResult r = YcsbDriver::Run(index.get(), spec);
+      std::printf(" %10.3f", r.mops);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+    CleanupIndex(std::move(index), v.kind);
+  }
+  std::printf("# paper shape: +PerNUMA up to 2x on writes, +SlottedLeaf up to 2.5x,\n"
+              "# +SelectPersist ~11%% on scans, +AsyncUpdate ~30%% on writes,\n"
+              "# DRAM-SL < 10%% (not worth losing instant recovery)\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 14: single-threaded performance (integer and string workloads).
+//
+// PACTree's optimistic version locks impose no overhead without contention;
+// the paper reports similar-to-3x-better single-thread throughput.
+#include "bench/bench_common.h"
+
+using namespace pactree;
+
+int main() {
+  Banner("Figure 14", "single-threaded throughput, integer and string keys");
+  BenchScale scale = ReadScale(500'000, 300'000, "1");
+  std::printf("%-10s %-8s", "index", "keys");
+  for (const char* wl : {"L-A", "W-A", "W-B", "W-C", "W-E"}) {
+    std::printf(" %10s", wl);
+  }
+  std::printf("   (Mops/s, 1 thread, Zipfian)\n");
+  for (bool strings : {false, true}) {
+    for (IndexKind kind : {IndexKind::kPacTree, IndexKind::kPdlArt, IndexKind::kBzTree,
+                           IndexKind::kFastFair, IndexKind::kFpTree}) {
+      if (strings && kind == IndexKind::kFpTree) {
+        continue;  // integer keys only, as in the paper
+      }
+      ConfigureNvmMachine();
+      YcsbSpec spec;
+      spec.record_count = scale.keys;
+      spec.op_count = scale.ops;
+      spec.threads = 1;
+      spec.string_keys = strings;
+      spec.zipfian = true;
+
+      IndexFactoryOptions o;
+      o.string_keys = strings;
+      o.pool_size = std::max<size_t>(512ULL << 20, scale.keys * 3072 * 2);
+      auto index = CreateIndex(kind, o);
+      if (index == nullptr) {
+        continue;
+      }
+      std::printf("%-10s %-8s", index->Name().c_str(), strings ? "string" : "int");
+      spec.kind = YcsbKind::kLoadA;
+      YcsbResult load = YcsbDriver::Load(index.get(), spec);
+      std::printf(" %10.3f", load.mops);
+      index->Drain();
+      for (YcsbKind wl : {YcsbKind::kA, YcsbKind::kB, YcsbKind::kC, YcsbKind::kE}) {
+        spec.kind = wl;
+        YcsbResult r = YcsbDriver::Run(index.get(), spec);
+        std::printf(" %10.3f", r.mops);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+      CleanupIndex(std::move(index), kind);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 15: PACTree under varying Zipfian skew.
+//
+// 50% lookup + 50% update, and 50% lookup + 50% insert, for theta in
+// {0.5 .. 0.99} at two thread counts. The paper finds updates get FASTER under
+// high skew (cache locality of hot data nodes) and inserts stay stable
+// (asynchronous search-layer updates).
+#include "bench/bench_common.h"
+
+using namespace pactree;
+
+int main() {
+  Banner("Figure 15", "PACTree throughput vs Zipfian coefficient");
+  BenchScale scale = ReadScale(500'000, 150'000, "2 4");
+  std::printf("%-22s %8s", "mix", "threads");
+  const double thetas[] = {0.5, 0.6, 0.7, 0.8, 0.9, 0.99};
+  for (double th : thetas) {
+    std::printf(" %8.2f", th);
+  }
+  std::printf("   (Mops/s)\n");
+  for (YcsbKind mix : {YcsbKind::kA, YcsbKind::kAInsert}) {
+    for (uint32_t t : scale.threads) {
+      std::printf("%-22s %8u",
+                  mix == YcsbKind::kA ? "50%lookup+50%update" : "50%lookup+50%insert",
+                  t);
+      for (double theta : thetas) {
+        ConfigureNvmMachine();
+        YcsbSpec spec;
+        spec.kind = mix;
+        spec.record_count = scale.keys;
+        spec.op_count = scale.ops;
+        spec.threads = t;
+        spec.string_keys = false;
+        spec.zipfian = true;
+        spec.zipf_theta = theta;
+        auto index = MakeLoaded(IndexKind::kPacTree, spec);
+        if (index == nullptr) {
+          return 1;
+        }
+        YcsbResult r = YcsbDriver::Run(index.get(), spec);
+        std::printf(" %8.3f", r.mops);
+        std::fflush(stdout);
+        CleanupIndex(std::move(index), IndexKind::kPacTree);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

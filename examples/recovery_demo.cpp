@@ -1,0 +1,86 @@
+// Recovery demo: crash a writer process with SIGKILL mid-load and watch
+// PACTree recover every acknowledged key (paper §6.8), including replaying
+// interrupted structural modifications from the SMO log.
+//
+//   $ ./build/examples/recovery_demo
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "src/common/clock.h"
+#include "src/nvm/config.h"
+#include "src/pactree/pactree.h"
+
+using namespace pactree;
+
+int main() {
+  GlobalNvmConfig().numa_nodes = 1;
+  PacTreeOptions options;
+  options.name = "recovery_demo";
+  options.pool_id_base = 720;
+  options.pool_size = 128ULL << 20;
+  PacTree::Destroy(options.name);
+
+  // Shared progress counter: the child bumps it after each ACKNOWLEDGED insert.
+  std::string progress_path = NvmConfig::DefaultPoolDir() + "/recovery_demo.progress";
+  int pfd = ::open(progress_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (pfd < 0 || ::ftruncate(pfd, 4096) != 0) {
+    return 1;
+  }
+  auto* progress = static_cast<volatile uint64_t*>(
+      ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE, MAP_SHARED, pfd, 0));
+  ::close(pfd);
+
+  std::printf("forking a writer child; it will be SIGKILLed mid-flight...\n");
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    auto tree = PacTree::Open(options);
+    if (tree == nullptr) {
+      _exit(1);
+    }
+    for (uint64_t i = 0;; ++i) {
+      tree->Insert(Key::FromInt(i), i * 7 + 1);
+      *progress = i + 1;
+    }
+  }
+  ::usleep(150 * 1000);  // let the child insert for ~150 ms
+  ::kill(pid, SIGKILL);
+  int status;
+  ::waitpid(pid, &status, 0);
+  uint64_t acked = *progress;
+  std::printf("child killed after acknowledging %llu inserts\n",
+              static_cast<unsigned long long>(acked));
+
+  uint64_t t0 = NowNs();
+  auto tree = PacTree::Open(options);  // runs SMO-log + allocation-log recovery
+  uint64_t t1 = NowNs();
+  if (tree == nullptr) {
+    std::fprintf(stderr, "recovery failed!\n");
+    return 1;
+  }
+  std::printf("recovered in %.2f ms (both layers live on NVM: no rebuild)\n",
+              static_cast<double>(t1 - t0) / 1e6);
+
+  uint64_t missing = 0;
+  for (uint64_t i = 0; i < acked; ++i) {
+    uint64_t v = 0;
+    if (tree->Lookup(Key::FromInt(i), &v) != Status::kOk || v != i * 7 + 1) {
+      missing++;
+    }
+  }
+  std::string why;
+  bool consistent = tree->CheckInvariants(&why);
+  std::printf("verified %llu acknowledged keys: %llu missing; invariants %s\n",
+              static_cast<unsigned long long>(acked),
+              static_cast<unsigned long long>(missing),
+              consistent ? "hold" : ("VIOLATED: " + why).c_str());
+  ::munmap(const_cast<uint64_t*>(progress), 4096);
+  ::unlink(progress_path.c_str());
+  tree.reset();
+  PacTree::Destroy(options.name);
+  return missing == 0 && consistent ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+// Run any YCSB workload against any index from the command line -- the same
+// harness the figure benches use, exposed interactively.
+//
+//   $ ./build/examples/ycsb_runner pactree C 100000 100000 4
+//   $ ./build/examples/ycsb_runner fastfair A 500000 200000 2 --string
+//   $ ./build/examples/ycsb_runner bztree E 100000 50000 1
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/index/range_index.h"
+#include "src/nvm/bandwidth.h"
+#include "src/nvm/config.h"
+#include "src/workload/ycsb.h"
+
+using namespace pactree;
+
+namespace {
+
+bool ParseKind(const std::string& s, IndexKind* out) {
+  for (IndexKind k : {IndexKind::kPacTree, IndexKind::kPdlArt, IndexKind::kFastFair,
+                      IndexKind::kFpTree, IndexKind::kBzTree}) {
+    if (s == IndexKindName(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseWorkload(const std::string& s, YcsbKind* out) {
+  if (s == "A" || s == "a") {
+    *out = YcsbKind::kA;
+  } else if (s == "B" || s == "b") {
+    *out = YcsbKind::kB;
+  } else if (s == "C" || s == "c") {
+    *out = YcsbKind::kC;
+  } else if (s == "E" || s == "e") {
+    *out = YcsbKind::kE;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 6) {
+    std::fprintf(stderr,
+                 "usage: ycsb_runner <pactree|pdlart|fastfair|fptree|bztree> "
+                 "<A|B|C|E> <keys> <ops> <threads> [--string] [--uniform]\n");
+    return 2;
+  }
+  IndexKind kind;
+  YcsbKind wl;
+  if (!ParseKind(argv[1], &kind) || !ParseWorkload(argv[2], &wl)) {
+    std::fprintf(stderr, "unknown index or workload\n");
+    return 2;
+  }
+  YcsbSpec spec;
+  spec.kind = wl;
+  spec.record_count = std::strtoull(argv[3], nullptr, 10);
+  spec.op_count = std::strtoull(argv[4], nullptr, 10);
+  spec.threads = static_cast<uint32_t>(std::strtoul(argv[5], nullptr, 10));
+  for (int i = 6; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--string") == 0) {
+      spec.string_keys = true;
+    } else if (std::strcmp(argv[i], "--uniform") == 0) {
+      spec.zipfian = false;
+    }
+  }
+
+  NvmConfig& cfg = GlobalNvmConfig();
+  cfg.numa_nodes = 2;
+  cfg.emulate_latency = true;
+  BandwidthModel::Instance().Reconfigure();
+
+  IndexFactoryOptions opts;
+  opts.string_keys = spec.string_keys;
+  opts.pool_size = std::max<size_t>(512ULL << 20, spec.record_count * 3072 * 2);
+  auto index = CreateIndex(kind, opts);
+  if (index == nullptr) {
+    std::fprintf(stderr, "failed to create index\n");
+    return 1;
+  }
+  std::printf("loading %llu keys into %s...\n",
+              static_cast<unsigned long long>(spec.record_count),
+              index->Name().c_str());
+  YcsbSpec load_spec = spec;
+  load_spec.kind = YcsbKind::kLoadA;
+  YcsbResult load = YcsbDriver::Load(index.get(), spec);
+  index->Drain();
+  YcsbDriver::PrintHeader();
+  YcsbDriver::PrintRow(index->Name(), load_spec, load);
+  YcsbResult run = YcsbDriver::Run(index.get(), spec);
+  YcsbDriver::PrintRow(index->Name(), spec, run);
+  DestroyIndex(kind, "");
+  return 0;
+}

@@ -1,0 +1,560 @@
+#include "src/baselines/bztree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "src/nvm/persist.h"
+#include "src/pmem/registry.h"
+#include "src/sync/epoch.h"
+#include "src/sync/gen_sync.h"
+
+namespace pactree {
+namespace {
+
+constexpr uint64_t kBzMagic = 0x31454552545a42ULL;
+constexpr size_t kBzConsolidateMax = 28;  // consolidate below, split above
+
+inline size_t RecordBytes(size_t key_len) { return 8 + ((key_len + 7) & ~size_t{7}); }
+
+std::mutex g_smo_mu;  // serializes SMOs (simplification documented in DESIGN.md)
+
+}  // namespace
+
+struct BzTree::BzRoot {
+  uint64_t magic;
+  uint64_t root_word;    // PPtr raw of the root node (PMwCAS-swung)
+  uint64_t desc_anchor;  // PMwCAS descriptor pool
+};
+
+std::unique_ptr<BzTree> BzTree::Open(const BzTreeOptions& opts) {
+  auto tree = std::unique_ptr<BzTree>(new BzTree());
+  if (!tree->Init(opts)) {
+    return nullptr;
+  }
+  return tree;
+}
+
+void BzTree::Destroy(const std::string& name) { PmemHeap::Destroy(name); }
+
+bool BzTree::Init(const BzTreeOptions& opts) {
+  opts_ = opts;
+  PmemHeapOptions h;
+  h.pool_id_base = opts.pool_id_base;
+  h.pool_size = opts.pool_size;
+  h.single_pool = !opts.per_numa_pools;
+  heap_ = PmemHeap::OpenOrCreate(opts.name, h);
+  if (heap_ == nullptr) {
+    return false;
+  }
+  AdvanceGenerations({heap_.get()});
+  root_ = heap_->Root<BzRoot>();
+  bool fresh = root_->magic != kBzMagic;
+  if (fresh) {
+    std::memset(static_cast<void*>(root_), 0, sizeof(BzRoot));
+    PersistFence(root_, sizeof(BzRoot));
+  }
+  pmwcas_ = std::make_unique<PmwcasPool>(heap_.get(), &root_->desc_anchor);
+  if (fresh) {
+    BzNode* leaf = NewNode(/*leaf=*/true);
+    if (leaf == nullptr) {
+      return false;
+    }
+    PersistFence(leaf, sizeof(BzNode));
+    root_->root_word = NodeRaw(leaf);
+    PersistFence(&root_->root_word, sizeof(uint64_t));
+    root_->magic = kBzMagic;
+    PersistFence(&root_->magic, sizeof(uint64_t));
+  } else {
+    pmwcas_->Recover();
+  }
+  return true;
+}
+
+BzNode* BzTree::NewNode(bool leaf) {
+  PPtr<void> p = heap_->Alloc(sizeof(BzNode));
+  if (p.IsNull()) {
+    return nullptr;
+  }
+  auto* n = static_cast<BzNode*>(p.get());
+  n->is_leaf = leaf ? 1 : 0;
+  return n;
+}
+
+uint64_t BzTree::NodeRaw(const BzNode* n) const { return ToPPtr(n).Cast<void>().raw; }
+
+// ---------------------------------------------------------------------------
+// Descent & search
+// ---------------------------------------------------------------------------
+
+BzNode* BzTree::FindLeaf(const Key& key, std::vector<PathEntry>* path,
+                         Key* upper) const {
+  if (upper != nullptr) {
+    *upper = Key::Max();
+  }
+  auto* self = const_cast<BzTree*>(this);
+  BzNode* node =
+      PPtr<BzNode>(self->pmwcas_->ReadWord(&root_->root_word)).get();
+  while (!node->is_leaf) {
+    AnnotateNvmRead(node, 128);
+    uint64_t status = self->pmwcas_->ReadWord(&node->status);
+    uint32_t count = node->sorted_count;
+    // Binary search: greatest separator <= key (entry 0 has the empty key).
+    uint32_t lo = 0;
+    uint32_t hi = count;
+    while (lo + 1 < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      AnnotateNvmRead(&node->meta[mid], 8);
+      if (node->KeyAt(node->meta[mid]) <= key) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    if (upper != nullptr && lo + 1 < count) {
+      *upper = node->KeyAt(node->meta[lo + 1]);
+    }
+    uint64_t* slot = const_cast<BzNode*>(node)->ValueAddr(node->meta[lo]);
+    uint64_t child_raw = self->pmwcas_->ReadWord(slot);
+    if (path != nullptr) {
+      path->push_back({node, status, slot});
+    }
+    node = PPtr<BzNode>(child_raw).get();
+  }
+  AnnotateNvmRead(node, 128);
+  return node;
+}
+
+int BzTree::FindRecord(const BzNode* n, const Key& key, uint64_t* meta_out) const {
+  auto* self = const_cast<BzTree*>(this);
+  uint64_t status = self->pmwcas_->ReadWord(const_cast<uint64_t*>(&n->status));
+  uint32_t count = BzNode::StatusCount(status);
+  // Unsorted tail, newest first (last write wins).
+  for (int i = static_cast<int>(count) - 1; i >= static_cast<int>(n->sorted_count);
+       --i) {
+    uint64_t m = self->pmwcas_->ReadWord(const_cast<uint64_t*>(&n->meta[i]));
+    if (!BzNode::MetaVisible(m) && !BzNode::MetaDeleted(m)) {
+      continue;  // reserved, in flight
+    }
+    AnnotateNvmRead(n->data + BzNode::MetaOffset(m), RecordBytes(BzNode::MetaKeyLen(m)));
+    if (n->KeyAt(m) == key) {
+      *meta_out = m;
+      return i;
+    }
+  }
+  // Sorted prefix.
+  int lo = 0;
+  int hi = static_cast<int>(n->sorted_count);
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    AnnotateNvmRead(n->data + BzNode::MetaOffset(n->meta[mid]), 40);
+    if (n->KeyAt(n->meta[mid]) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < static_cast<int>(n->sorted_count)) {
+    uint64_t m = self->pmwcas_->ReadWord(const_cast<uint64_t*>(&n->meta[lo]));
+    if (n->KeyAt(m) == key && (BzNode::MetaVisible(m) || BzNode::MetaDeleted(m))) {
+      *meta_out = m;
+      return lo;
+    }
+  }
+  return -1;
+}
+
+Status BzTree::Lookup(const Key& key, uint64_t* value) const {
+  EpochGuard guard;
+  uint64_t meta;
+  BzNode* leaf = FindLeaf(key, nullptr, nullptr);
+  int idx = FindRecord(leaf, key, &meta);
+  if (idx < 0 || BzNode::MetaDeleted(meta)) {
+    return Status::kNotFound;
+  }
+  if (value != nullptr) {
+    *value = const_cast<BzTree*>(this)->pmwcas_->ReadWord(leaf->ValueAddr(meta));
+  }
+  return Status::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Insert / Remove
+// ---------------------------------------------------------------------------
+
+Status BzTree::Insert(const Key& key, uint64_t value) {
+  std::vector<PathEntry> path;
+  while (true) {
+    // Let deferred descriptor recycling make progress between attempts.
+    EpochManager::Instance().TryAdvanceAndReclaim();
+    // Per-attempt guard: holding one epoch across retries would stall
+    // descriptor recycling (and with it, every other writer).
+    EpochGuard guard;
+    path.clear();
+    BzNode* leaf = FindLeaf(key, &path, nullptr);
+    uint64_t status = pmwcas_->ReadWord(&leaf->status);
+    if (BzNode::StatusFrozen(status)) {
+      SmoReplace(leaf, path);
+      continue;
+    }
+    uint64_t meta;
+    int idx = FindRecord(leaf, key, &meta);
+    if (idx >= 0 && BzNode::MetaVisible(meta)) {
+      // Upsert: swing the 8-byte value, guarded by an unchanged status word.
+      uint64_t old_v = pmwcas_->ReadWord(leaf->ValueAddr(meta));
+      PmwcasWordEntry entries[2] = {
+          {ToPPtr(&leaf->status).raw, status, status},
+          {ToPPtr(leaf->ValueAddr(meta)).raw, old_v, value},
+      };
+      if (pmwcas_->Run(entries, 2)) {
+        return Status::kExists;
+      }
+      continue;
+    }
+    uint32_t count = BzNode::StatusCount(status);
+    uint32_t block = BzNode::StatusBlock(status);
+    size_t rec = RecordBytes(key.size());
+    if (count >= kBzMaxRecords || block + rec > kBzDataBytes) {
+      if (SmoReplace(leaf, path)) {
+        continue;
+      }
+      continue;
+    }
+    // Reserve: status + metadata in one PMwCAS.
+    uint64_t new_status = BzNode::PackStatus(count + 1, block + static_cast<uint32_t>(rec),
+                                             false);
+    uint64_t new_meta = BzNode::PackMeta(block, static_cast<uint32_t>(key.size()),
+                                         /*visible=*/false, /*deleted=*/false);
+    PmwcasWordEntry reserve[2] = {
+        {ToPPtr(&leaf->status).raw, status, new_status},
+        {ToPPtr(&leaf->meta[count]).raw, 0, new_meta},
+    };
+    if (!pmwcas_->Run(reserve, 2)) {
+      continue;
+    }
+    // Copy the record payload and persist it.
+    uint64_t* vaddr = leaf->ValueAddr(new_meta);
+    *vaddr = value;
+    std::memcpy(reinterpret_cast<uint8_t*>(vaddr) + 8, key.data(), key.size());
+    PersistFence(vaddr, rec);
+    // Flip visible (status must still be unfrozen).
+    while (true) {
+      uint64_t s = pmwcas_->ReadWord(&leaf->status);
+      if (BzNode::StatusFrozen(s)) {
+        // A consolidation won the race: our reserved record dies with the old
+        // node (it was never acknowledged). Retry against the new node.
+        break;
+      }
+      PmwcasWordEntry flip[2] = {
+          {ToPPtr(&leaf->status).raw, s, s},
+          {ToPPtr(&leaf->meta[count]).raw, new_meta,
+           new_meta | BzNode::kVisibleBit},
+      };
+      bool exhausted = false;
+      if (pmwcas_->Run(flip, 2, &exhausted)) {
+        return Status::kOk;
+      }
+      if (exhausted) {
+        // Abandon the reserved (invisible) slot; consolidation reclaims it.
+        // Unwinding drops our epoch guard so descriptor recycling proceeds.
+        break;
+      }
+    }
+  }
+}
+
+Status BzTree::Remove(const Key& key) {
+  std::vector<PathEntry> path;
+  while (true) {
+    EpochManager::Instance().TryAdvanceAndReclaim();
+    EpochGuard guard;
+    path.clear();
+    BzNode* leaf = FindLeaf(key, &path, nullptr);
+    uint64_t status = pmwcas_->ReadWord(&leaf->status);
+    if (BzNode::StatusFrozen(status)) {
+      SmoReplace(leaf, path);
+      continue;
+    }
+    uint64_t meta;
+    int idx = FindRecord(leaf, key, &meta);
+    if (idx < 0 || BzNode::MetaDeleted(meta)) {
+      return Status::kNotFound;
+    }
+    PmwcasWordEntry entries[2] = {
+        {ToPPtr(&leaf->status).raw, status, status},
+        {ToPPtr(&leaf->meta[idx]).raw, meta,
+         (meta & ~BzNode::kVisibleBit) | BzNode::kDeletedBit},
+    };
+    if (pmwcas_->Run(entries, 2)) {
+      return Status::kOk;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SMOs (consolidate / split), serialized by a mutex
+// ---------------------------------------------------------------------------
+
+bool BzTree::SmoReplace(BzNode* leaf, std::vector<PathEntry>& path) {
+  std::lock_guard<std::mutex> lock(g_smo_mu);
+  // Freeze the node (idempotent; loop against concurrent reservations).
+  uint64_t status;
+  while (true) {
+    status = pmwcas_->ReadWord(&leaf->status);
+    if (BzNode::StatusFrozen(status)) {
+      break;
+    }
+    PmwcasWordEntry freeze = {ToPPtr(&leaf->status).raw, status,
+                              status | BzNode::kFrozenBit};
+    bool exhausted = false;
+    if (pmwcas_->Run(&freeze, 1, &exhausted)) {
+      break;
+    }
+    if (exhausted) {
+      return false;  // unwind so descriptor recycling can proceed
+    }
+  }
+  // Verify the WHOLE recorded path is still the current root-to-leaf path.
+  // Checking only the parent slot is not enough: a retired (but not yet
+  // reclaimed) ancestor still points at the leaf, and swinging pointers inside
+  // a dead subtree would retire nodes that the live tree still reaches.
+  // Child slots change only under this mutex, so a verified path stays valid
+  // for the rest of the SMO.
+  uint64_t leaf_raw = NodeRaw(leaf);
+  {
+    uint64_t expect = pmwcas_->ReadWord(&root_->root_word);
+    for (const PathEntry& pe : path) {
+      if (expect != NodeRaw(pe.node)) {
+        return false;  // stale path; caller retries from the root
+      }
+      expect = pmwcas_->ReadWord(pe.child_slot);
+    }
+    if (expect != leaf_raw) {
+      return false;
+    }
+  }
+
+  // Gather live sorted records.
+  std::vector<std::pair<Key, uint64_t>> lives;
+  {
+    uint64_t st = pmwcas_->ReadWord(&leaf->status);
+    uint32_t count = BzNode::StatusCount(st);
+    std::map<Key, uint64_t> live;
+    for (int i = static_cast<int>(count) - 1; i >= 0; --i) {
+      uint64_t m = pmwcas_->ReadWord(&leaf->meta[i]);
+      if (!BzNode::MetaVisible(m) && !BzNode::MetaDeleted(m)) {
+        continue;
+      }
+      Key k = leaf->KeyAt(m);
+      if (live.count(k)) {
+        continue;
+      }
+      live[k] = BzNode::MetaDeleted(m) ? ~0ULL : *leaf->ValueAddr(m);
+    }
+    for (const auto& [k, v] : live) {
+      if (v != ~0ULL) {
+        lives.emplace_back(k, v);
+      }
+    }
+  }
+
+  // Build replacement node(s).
+  std::vector<std::pair<Key, uint64_t>> repl;  // (low key, node raw)
+  auto build = [&](size_t from, size_t to) -> uint64_t {
+    BzNode* fresh = NewNode(leaf->is_leaf != 0);
+    assert(fresh != nullptr);
+    uint32_t block = 0;
+    uint32_t out = 0;
+    for (size_t i = from; i < to; ++i) {
+      size_t rec = RecordBytes(lives[i].first.size());
+      fresh->meta[out] = BzNode::PackMeta(block,
+                                          static_cast<uint32_t>(lives[i].first.size()),
+                                          true, false);
+      uint64_t* vaddr = fresh->ValueAddr(fresh->meta[out]);
+      *vaddr = lives[i].second;
+      std::memcpy(reinterpret_cast<uint8_t*>(vaddr) + 8, lives[i].first.data(),
+                  lives[i].first.size());
+      out++;
+      block += static_cast<uint32_t>(rec);
+    }
+    fresh->sorted_count = out;
+    fresh->status = BzNode::PackStatus(out, block, false);
+    PersistFence(fresh, sizeof(BzNode));
+    return NodeRaw(fresh);
+  };
+  if (lives.size() <= kBzConsolidateMax) {
+    Key low = path.empty() ? Key::Min()
+                           : (lives.empty() ? Key::Min() : lives.front().first);
+    repl.emplace_back(low, build(0, lives.size()));
+  } else {
+    size_t mid = lives.size() / 2;
+    repl.emplace_back(Key::Min(), build(0, mid));  // low key unused for [0]
+    repl.emplace_back(lives[mid].first, build(mid, lives.size()));
+  }
+
+  // Swing pointers up the path.
+  uint64_t old_raw = leaf_raw;
+  int level = static_cast<int>(path.size()) - 1;
+  std::vector<BzNode*> retired;
+  retired.push_back(leaf);
+  while (true) {
+    if (repl.size() == 1) {
+      // In-place child-pointer swap (the one in-place internal update BzTree
+      // allows) or root swap.
+      uint64_t* slot = level < 0 ? &root_->root_word : path[level].child_slot;
+      PmwcasWordEntry swing = {ToPPtr(slot).raw, old_raw, repl[0].second};
+      bool ok = pmwcas_->Run(&swing, 1);
+      if (!ok) {
+        // Path stale: free unpublished nodes and retry from the root.
+        for (auto& [k, raw] : repl) {
+          PmemFree(PPtr<void>(raw));
+        }
+        return false;
+      }
+      break;
+    }
+    // Two replacements: the parent needs a new separator -> CoW the parent.
+    if (level < 0) {
+      // New root above the split halves.
+      BzNode* new_root = NewNode(/*leaf=*/false);
+      assert(new_root != nullptr);
+      uint32_t block = 0;
+      for (size_t i = 0; i < 2; ++i) {
+        Key k = i == 0 ? Key::Min() : repl[i].first;
+        size_t rec = RecordBytes(k.size());
+        new_root->meta[i] = BzNode::PackMeta(block, static_cast<uint32_t>(k.size()),
+                                             true, false);
+        uint64_t* vaddr = new_root->ValueAddr(new_root->meta[i]);
+        *vaddr = repl[i].second;
+        std::memcpy(reinterpret_cast<uint8_t*>(vaddr) + 8, k.data(), k.size());
+        block += static_cast<uint32_t>(rec);
+      }
+      new_root->sorted_count = 2;
+      new_root->status = BzNode::PackStatus(2, block, false);
+      PersistFence(new_root, sizeof(BzNode));
+      PmwcasWordEntry swing = {ToPPtr(&root_->root_word).raw, old_raw,
+                               NodeRaw(new_root)};
+      if (!pmwcas_->Run(&swing, 1)) {
+        for (auto& [k, raw] : repl) {
+          PmemFree(PPtr<void>(raw));
+        }
+        PmemFree(ToPPtr(new_root).Cast<void>());
+        return false;
+      }
+      break;
+    }
+    BzNode* parent = path[level].node;
+    uint64_t p_status = pmwcas_->ReadWord(&parent->status);
+    uint32_t p_count = BzNode::StatusCount(p_status);
+    // Collect parent entries, replacing old_raw's entry and inserting the new
+    // separator.
+    std::vector<std::pair<Key, uint64_t>> entries;
+    for (uint32_t i = 0; i < p_count; ++i) {
+      uint64_t m = parent->meta[i];
+      Key k = parent->KeyAt(m);
+      uint64_t child = pmwcas_->ReadWord(parent->ValueAddr(m));
+      if (child == old_raw) {
+        entries.emplace_back(k, repl[0].second);
+        entries.emplace_back(repl[1].first, repl[1].second);
+      } else {
+        entries.emplace_back(k, child);
+      }
+    }
+    // Build one or two new internal nodes from |entries|.
+    auto build_inner = [&](size_t from, size_t to) -> uint64_t {
+      BzNode* fresh = NewNode(/*leaf=*/false);
+      assert(fresh != nullptr);
+      uint32_t block = 0;
+      uint32_t out = 0;
+      for (size_t i = from; i < to; ++i) {
+        Key k = i == from && from == 0 && level == 0 ? entries[i].first
+                                                     : entries[i].first;
+        size_t rec = RecordBytes(k.size());
+        fresh->meta[out] = BzNode::PackMeta(block, static_cast<uint32_t>(k.size()),
+                                            true, false);
+        uint64_t* vaddr = fresh->ValueAddr(fresh->meta[out]);
+        *vaddr = entries[i].second;
+        std::memcpy(reinterpret_cast<uint8_t*>(vaddr) + 8, k.data(), k.size());
+        out++;
+        block += static_cast<uint32_t>(rec);
+      }
+      fresh->sorted_count = out;
+      fresh->status = BzNode::PackStatus(out, block, false);
+      PersistFence(fresh, sizeof(BzNode));
+      return NodeRaw(fresh);
+    };
+    repl.clear();
+    if (entries.size() <= kBzMaxRecords) {
+      repl.emplace_back(entries.front().first, build_inner(0, entries.size()));
+    } else {
+      size_t mid = entries.size() / 2;
+      repl.emplace_back(entries.front().first, build_inner(0, mid));
+      repl.emplace_back(entries[mid].first, build_inner(mid, entries.size()));
+    }
+    retired.push_back(parent);
+    old_raw = NodeRaw(parent);
+    level--;
+  }
+  for (BzNode* n : retired) {
+    EpochManager::Instance().Retire(ToPPtr(n).Cast<void>());
+  }
+  EpochManager::Instance().TryAdvanceAndReclaim();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Scan / Size
+// ---------------------------------------------------------------------------
+
+size_t BzTree::Scan(const Key& start, size_t count,
+                    std::vector<std::pair<Key, uint64_t>>* out) const {
+  EpochGuard guard;
+  out->clear();
+  Key cursor = start;
+  bool first = true;
+  while (out->size() < count) {
+    Key upper;
+    BzNode* leaf = FindLeaf(cursor, nullptr, &upper);
+    AnnotateNvmRead(leaf, sizeof(BzNode));
+    // Snapshot + sort (BzTree's per-leaf scan overhead).
+    uint64_t status = const_cast<BzTree*>(this)->pmwcas_->ReadWord(&leaf->status);
+    uint32_t n = BzNode::StatusCount(status);
+    std::map<Key, uint64_t> snap;
+    for (int i = static_cast<int>(n) - 1; i >= 0; --i) {
+      uint64_t m = const_cast<BzTree*>(this)->pmwcas_->ReadWord(&leaf->meta[i]);
+      if (!BzNode::MetaVisible(m) && !BzNode::MetaDeleted(m)) {
+        continue;
+      }
+      Key k = leaf->KeyAt(m);
+      if (snap.count(k)) {
+        continue;
+      }
+      snap[k] = BzNode::MetaDeleted(m) ? ~0ULL : *leaf->ValueAddr(m);
+    }
+    for (const auto& [k, v] : snap) {
+      if (v == ~0ULL || k < cursor || (!first && k == cursor)) {
+        continue;
+      }
+      if (out->size() >= count) {
+        break;
+      }
+      out->emplace_back(k, v);
+    }
+    if (upper == Key::Max()) {
+      break;
+    }
+    cursor = upper;
+    first = true;  // upper bound is exclusive of the previous subtree
+  }
+  return out->size();
+}
+
+uint64_t BzTree::Size() const {
+  std::vector<std::pair<Key, uint64_t>> all;
+  Scan(Key::Min(), ~size_t{0} >> 1, &all);
+  return all.size();
+}
+
+}  // namespace pactree

@@ -1,0 +1,545 @@
+#include "src/baselines/fastfair.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/nvm/persist.h"
+#include "src/pmem/registry.h"
+#include "src/sync/epoch.h"
+#include "src/sync/gen_sync.h"
+#include "src/sync/generation.h"
+
+namespace pactree {
+namespace {
+
+constexpr uint64_t kFfMagic = 0x3152494146544641ULL;  // "AFTFAIR1" (ish)
+
+inline uint64_t LoadU64(const uint64_t* p) {
+  return std::atomic_ref<uint64_t>(*const_cast<uint64_t*>(p)).load(std::memory_order_acquire);
+}
+inline void StoreU64(uint64_t* p, uint64_t v) {
+  std::atomic_ref<uint64_t>(*p).store(v, std::memory_order_release);
+}
+
+}  // namespace
+
+struct FastFair::FfRoot {
+  uint64_t magic;
+  uint64_t root_raw;
+  uint64_t height;
+};
+
+std::unique_ptr<FastFair> FastFair::Open(const FastFairOptions& opts) {
+  auto tree = std::unique_ptr<FastFair>(new FastFair());
+  if (!tree->Init(opts)) {
+    return nullptr;
+  }
+  return tree;
+}
+
+void FastFair::Destroy(const std::string& name) { PmemHeap::Destroy(name); }
+
+bool FastFair::Init(const FastFairOptions& opts) {
+  opts_ = opts;
+  PmemHeapOptions h;
+  h.pool_id_base = opts.pool_id_base;
+  h.pool_size = opts.pool_size;
+  h.single_pool = !opts.per_numa_pools;
+  heap_ = PmemHeap::OpenOrCreate(opts.name, h);
+  if (heap_ == nullptr) {
+    return false;
+  }
+  AdvanceGenerations({heap_.get()});
+  root_ = heap_->Root<FfRoot>();
+  if (root_->magic != kFfMagic) {
+    FfNode* leaf = NewNode(/*leaf=*/true);
+    if (leaf == nullptr) {
+      return false;
+    }
+    root_->root_raw = ToPPtr(leaf).Cast<void>().raw;
+    root_->height = 1;
+    PersistFence(root_, sizeof(FfRoot));
+    root_->magic = kFfMagic;
+    PersistFence(&root_->magic, sizeof(uint64_t));
+  }
+  return true;
+}
+
+FfNode* FastFair::NewNode(bool leaf) {
+  PPtr<void> p = heap_->Alloc(sizeof(FfNode));
+  if (p.IsNull()) {
+    return nullptr;
+  }
+  auto* n = static_cast<FfNode*>(p.get());
+  n->is_leaf = leaf ? 1 : 0;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Key encoding
+// ---------------------------------------------------------------------------
+
+uint64_t FastFair::EncodeKey(const Key& key) {
+  if (!opts_.string_keys) {
+    // Big-endian 8-byte image: word comparison == key comparison (keys <= 8 B).
+    uint64_t w = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      w = (w << 8) | key.At(i);
+    }
+    return w;
+  }
+  // Out-of-node key record (one NVM allocation + pointer chase per key).
+  PPtr<void> rec = heap_->Alloc(sizeof(FfKeyRecord));
+  if (rec.IsNull()) {
+    return 0;
+  }
+  auto* kr = static_cast<FfKeyRecord*>(rec.get());
+  kr->key = key;
+  PersistFence(kr, sizeof(FfKeyRecord));
+  return rec.raw;
+}
+
+Key FastFair::DecodeKey(uint64_t key_word) const {
+  if (!opts_.string_keys) {
+    return Key::FromInt(key_word);
+  }
+  const auto* kr = PPtr<FfKeyRecord>(key_word).get();
+  AnnotateNvmRead(kr, sizeof(FfKeyRecord));
+  return kr->key;
+}
+
+int FastFair::CompareKeyWord(uint64_t key_word, const Key& key) const {
+  if (!opts_.string_keys) {
+    uint64_t w = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      w = (w << 8) | key.At(i);
+    }
+    return key_word < w ? -1 : (key_word == w ? 0 : 1);
+  }
+  const auto* kr = PPtr<FfKeyRecord>(key_word).get();
+  AnnotateNvmRead(kr, sizeof(FfKeyRecord));  // the string-key pointer chase
+  return kr->key.Compare(key);
+}
+
+int FastFair::LowerBound(const FfNode* n, const Key& key) const {
+  int lo = 0;
+  int hi = static_cast<int>(std::atomic_ref<uint32_t>(const_cast<FfNode*>(n)->count)
+                                .load(std::memory_order_acquire));
+  if (hi > static_cast<int>(kFfCardinality)) {
+    hi = kFfCardinality;
+  }
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (CompareKeyWord(LoadU64(&n->key_words[mid]), key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint64_t FastFair::ChildFor(const FfNode* n, const Key& key, int* idx) const {
+  int pos = LowerBound(n, key);
+  // Internal node semantics: separator key k routes keys >= k to its child.
+  if (pos < static_cast<int>(n->count) &&
+      CompareKeyWord(LoadU64(&n->key_words[pos]), key) == 0) {
+    pos++;
+  }
+  *idx = pos;
+  if (pos == 0) {
+    return LoadU64(&n->leftmost_raw);
+  }
+  return LoadU64(&n->values[pos - 1]);
+}
+
+// ---------------------------------------------------------------------------
+// Optimistic read path
+// ---------------------------------------------------------------------------
+
+FfNode* FastFair::FindLeafOptimistic(const Key& key, uint64_t* version) const {
+  while (true) {
+    FfNode* node = PPtr<FfNode>(LoadU64(&root_->root_raw)).get();
+    uint64_t v = node->lock.ReadLock();
+    bool restart = false;
+    while (true) {
+      AnnotateNvmRead(node, 64);  // header; key words counted per comparison
+      if (!opts_.string_keys) {
+        AnnotateNvmRead(node->key_words, sizeof(node->key_words));
+      }
+      // B-link-style move right: a concurrent split links the new node via the
+      // sibling pointer before the parent learns about it.
+      FfNode* sib = PPtr<FfNode>(LoadU64(&node->sibling_raw)).get();
+      if (sib != nullptr && sib->has_low &&
+          CompareKeyWord(LoadU64(&sib->low_key_word), key) <= 0) {
+        uint64_t sv = sib->lock.ReadLock();
+        if (!node->lock.Validate(v)) {
+          restart = true;
+          break;
+        }
+        node = sib;
+        v = sv;
+        continue;
+      }
+      if (node->is_leaf) {
+        if (!node->lock.Validate(v)) {
+          restart = true;
+          break;
+        }
+        *version = v;
+        return node;
+      }
+      int idx;
+      uint64_t child_raw = ChildFor(node, key, &idx);
+      if (child_raw == 0) {
+        restart = true;
+        break;
+      }
+      FfNode* child = PPtr<FfNode>(child_raw).get();
+      uint64_t cv = child->lock.ReadLock();
+      if (!node->lock.Validate(v)) {
+        restart = true;
+        break;
+      }
+      node = child;
+      v = cv;
+    }
+    if (!restart) {
+      return nullptr;  // unreachable
+    }
+  }
+}
+
+Status FastFair::Lookup(const Key& key, uint64_t* value) const {
+  EpochGuard guard;
+  while (true) {
+    uint64_t version;
+    FfNode* leaf = FindLeafOptimistic(key, &version);
+    int pos = LowerBound(leaf, key);
+    bool found = pos < static_cast<int>(leaf->count) &&
+                 CompareKeyWord(LoadU64(&leaf->key_words[pos]), key) == 0;
+    uint64_t v = found ? LoadU64(&leaf->values[pos]) : 0;
+    if (!leaf->lock.Validate(version)) {
+      continue;
+    }
+    if (!found) {
+      return Status::kNotFound;
+    }
+    if (value != nullptr) {
+      *value = v;
+    }
+    return Status::kOk;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// In-node failure-atomic shifts
+// ---------------------------------------------------------------------------
+
+void FastFair::InsertAt(FfNode* n, int pos, uint64_t key_word, uint64_t value) {
+  // Shift right with ordered 8-byte stores (FastFair's failure-atomic shift:
+  // a crash mid-shift leaves a duplicate, which is invisible behind count).
+  for (int j = static_cast<int>(n->count); j > pos; --j) {
+    StoreU64(&n->values[j], n->values[j - 1]);
+    StoreU64(&n->key_words[j], n->key_words[j - 1]);
+  }
+  StoreU64(&n->key_words[pos], key_word);
+  StoreU64(&n->values[pos], value);
+  PersistRange(&n->key_words[pos], (n->count - pos + 1) * sizeof(uint64_t));
+  PersistRange(&n->values[pos], (n->count - pos + 1) * sizeof(uint64_t));
+  Fence();
+  std::atomic_ref<uint32_t>(n->count).store(n->count + 1, std::memory_order_release);
+  PersistFence(&n->count, sizeof(n->count));
+}
+
+void FastFair::RemoveAt(FfNode* n, int pos) {
+  for (int j = pos; j + 1 < static_cast<int>(n->count); ++j) {
+    StoreU64(&n->key_words[j], n->key_words[j + 1]);
+    StoreU64(&n->values[j], n->values[j + 1]);
+  }
+  PersistRange(&n->key_words[pos], (n->count - pos) * sizeof(uint64_t));
+  PersistRange(&n->values[pos], (n->count - pos) * sizeof(uint64_t));
+  Fence();
+  std::atomic_ref<uint32_t>(n->count).store(n->count - 1, std::memory_order_release);
+  PersistFence(&n->count, sizeof(n->count));
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+Status FastFair::Insert(const Key& key, uint64_t value) {
+  EpochGuard guard;
+  // Fast path: only the leaf is touched.
+  while (true) {
+    uint64_t version;
+    FfNode* leaf = FindLeafOptimistic(key, &version);
+    int pos = LowerBound(leaf, key);
+    bool exists = pos < static_cast<int>(leaf->count) &&
+                  CompareKeyWord(LoadU64(&leaf->key_words[pos]), key) == 0;
+    if (!exists && leaf->count >= kFfCardinality) {
+      break;  // needs a split: take the slow path
+    }
+    if (!leaf->lock.TryUpgrade(version)) {
+      continue;
+    }
+    if (exists) {
+      StoreU64(&leaf->values[pos], value);
+      PersistFence(&leaf->values[pos], sizeof(uint64_t));
+      leaf->lock.WriteUnlock();
+      return Status::kExists;
+    }
+    uint64_t key_word = EncodeKey(key);
+    InsertAt(leaf, pos, key_word, value);
+    leaf->lock.WriteUnlock();
+    return Status::kOk;
+  }
+  // Slow path: lock-coupled descent from the root; splits propagate on the
+  // critical path, blocking every concurrent writer on the path (GC2).
+  while (true) {
+    uint64_t rv = root_lock_.ReadLock();
+    FfNode* root_node = PPtr<FfNode>(LoadU64(&root_->root_raw)).get();
+    Key up_key;
+    uint64_t up_key_word = 0;
+    uint64_t new_child = 0;
+    bool existed = false;
+    uint64_t key_word = EncodeKey(key);
+    Status s = InsertRec(root_node, key, key_word, value, &up_key, &up_key_word,
+                         &new_child, &existed);
+    if (s == Status::kRetry) {
+      continue;
+    }
+    if (new_child != 0) {
+      // Root split: build a new root.
+      if (!root_lock_.TryUpgrade(rv)) {
+        // Someone else replaced the root first; the new child stays reachable
+        // through sibling links; retry to install a separator.
+        continue;
+      }
+      FfNode* new_root = NewNode(/*leaf=*/false);
+      assert(new_root != nullptr);
+      new_root->leftmost_raw = ToPPtr(root_node).Cast<void>().raw;
+      new_root->key_words[0] = up_key_word;
+      new_root->values[0] = new_child;
+      new_root->count = 1;
+      PersistFence(new_root, sizeof(FfNode));
+      StoreU64(&root_->root_raw, ToPPtr(new_root).Cast<void>().raw);
+      root_->height++;
+      PersistFence(root_, sizeof(FfRoot));
+      root_lock_.WriteUnlock();
+    }
+    return existed ? Status::kExists : s;
+  }
+}
+
+Status FastFair::InsertRec(FfNode* node, const Key& key, uint64_t key_word,
+                           uint64_t value, Key* up_key, uint64_t* up_key_word,
+                           uint64_t* new_child, bool* existed) {
+  node->lock.WriteLock();
+  // Move right if a concurrent split redirected our key range.
+  while (true) {
+    FfNode* sib = PPtr<FfNode>(LoadU64(&node->sibling_raw)).get();
+    if (sib != nullptr && sib->has_low &&
+        CompareKeyWord(sib->low_key_word, key) <= 0) {
+      sib->lock.WriteLock();
+      node->lock.WriteUnlock();
+      node = sib;
+      continue;
+    }
+    break;
+  }
+
+  if (!node->is_leaf) {
+    int idx;
+    uint64_t child_raw = ChildFor(node, key, &idx);
+    FfNode* child = PPtr<FfNode>(child_raw).get();
+    Key child_up;
+    uint64_t child_up_word = 0;
+    uint64_t child_new = 0;
+    Status s = InsertRec(child, key, key_word, value, &child_up, &child_up_word,
+                         &child_new, existed);
+    if (child_new != 0) {
+      // Insert the separator here (we still hold this node's lock).
+      int pos = LowerBound(node, child_up);
+      if (node->count < kFfCardinality) {
+        InsertAt(node, pos, child_up_word, child_new);
+      } else {
+        // Split this internal node; the median moves up.
+        FfNode* right = NewNode(/*leaf=*/false);
+        assert(right != nullptr);
+        int mid = kFfCardinality / 2;
+        right->leftmost_raw = node->values[mid];  // median's child
+        int moved = 0;
+        for (int i = mid + 1; i < static_cast<int>(kFfCardinality); ++i) {
+          right->key_words[moved] = node->key_words[i];
+          right->values[moved] = node->values[i];
+          moved++;
+        }
+        right->count = static_cast<uint32_t>(moved);
+        right->sibling_raw = node->sibling_raw;
+        uint64_t median_word = node->key_words[mid];
+        Key median = DecodeKey(median_word);
+        right->low_key_word = median_word;
+        right->has_low = 1;
+        PersistFence(right, sizeof(FfNode));
+        StoreU64(&node->sibling_raw, ToPPtr(right).Cast<void>().raw);
+        PersistFence(&node->sibling_raw, sizeof(uint64_t));
+        std::atomic_ref<uint32_t>(node->count).store(mid, std::memory_order_release);
+        PersistFence(&node->count, sizeof(node->count));
+        FfNode* target = child_up < median ? node : right;
+        InsertAt(target, LowerBound(target, child_up), child_up_word, child_new);
+        *up_key = median;
+        *up_key_word = median_word;
+        *new_child = ToPPtr(right).Cast<void>().raw;
+      }
+    }
+    node->lock.WriteUnlock();
+    return s;
+  }
+
+  // Leaf.
+  int pos = LowerBound(node, key);
+  if (pos < static_cast<int>(node->count) &&
+      CompareKeyWord(node->key_words[pos], key) == 0) {
+    StoreU64(&node->values[pos], value);
+    PersistFence(&node->values[pos], sizeof(uint64_t));
+    *existed = true;
+    node->lock.WriteUnlock();
+    return Status::kOk;
+  }
+  if (node->count < kFfCardinality) {
+    InsertAt(node, pos, key_word, value);
+    node->lock.WriteUnlock();
+    return Status::kOk;
+  }
+  // Leaf split (synchronous, on the critical path).
+  FfNode* right = NewNode(/*leaf=*/true);
+  assert(right != nullptr);
+  int mid = kFfCardinality / 2;
+  int moved = 0;
+  for (int i = mid; i < static_cast<int>(kFfCardinality); ++i) {
+    right->key_words[moved] = node->key_words[i];
+    right->values[moved] = node->values[i];
+    moved++;
+  }
+  right->count = static_cast<uint32_t>(moved);
+  right->sibling_raw = node->sibling_raw;
+  right->low_key_word = right->key_words[0];
+  right->has_low = 1;
+  PersistFence(right, sizeof(FfNode));
+  StoreU64(&node->sibling_raw, ToPPtr(right).Cast<void>().raw);
+  PersistFence(&node->sibling_raw, sizeof(uint64_t));
+  std::atomic_ref<uint32_t>(node->count).store(mid, std::memory_order_release);
+  PersistFence(&node->count, sizeof(node->count));
+  Key split_key = DecodeKey(right->key_words[0]);
+  FfNode* target = key < split_key ? node : right;
+  InsertAt(target, LowerBound(target, key), key_word, value);
+  *up_key = split_key;
+  *up_key_word = right->key_words[0];
+  *new_child = ToPPtr(right).Cast<void>().raw;
+  node->lock.WriteUnlock();
+  return Status::kOk;
+}
+
+Status FastFair::Remove(const Key& key) {
+  EpochGuard guard;
+  while (true) {
+    uint64_t version;
+    FfNode* leaf = FindLeafOptimistic(key, &version);
+    int pos = LowerBound(leaf, key);
+    bool found = pos < static_cast<int>(leaf->count) &&
+                 CompareKeyWord(LoadU64(&leaf->key_words[pos]), key) == 0;
+    if (!found) {
+      if (!leaf->lock.Validate(version)) {
+        continue;
+      }
+      return Status::kNotFound;
+    }
+    if (!leaf->lock.TryUpgrade(version)) {
+      continue;
+    }
+    RemoveAt(leaf, pos);
+    leaf->lock.WriteUnlock();
+    return Status::kOk;
+  }
+}
+
+size_t FastFair::Scan(const Key& start, size_t count,
+                      std::vector<std::pair<Key, uint64_t>>* out) const {
+  EpochGuard guard;
+  out->clear();
+  uint64_t version;
+  FfNode* leaf = FindLeafOptimistic(start, &version);
+  std::pair<Key, uint64_t> batch[kFfCardinality];
+  bool first = true;
+  while (leaf != nullptr && out->size() < count) {
+    size_t bn;
+    uint64_t next_raw;
+    while (true) {
+      bn = 0;
+      // Sorted, embedded entries: one sequential node read (GA5).
+      AnnotateNvmRead(leaf, sizeof(FfNode));
+      int n = static_cast<int>(leaf->count);
+      for (int i = 0; i < n && i < static_cast<int>(kFfCardinality); ++i) {
+        Key k = DecodeKey(LoadU64(&leaf->key_words[i]));
+        if (first && k < start) {
+          continue;
+        }
+        batch[bn++] = {k, LoadU64(&leaf->values[i])};
+      }
+      next_raw = LoadU64(&leaf->sibling_raw);
+      if (leaf->lock.Validate(version)) {
+        break;
+      }
+      version = leaf->lock.ReadLock();
+    }
+    for (size_t i = 0; i < bn && out->size() < count; ++i) {
+      out->push_back(batch[i]);
+    }
+    first = false;
+    if (next_raw == 0) {
+      break;
+    }
+    leaf = PPtr<FfNode>(next_raw).get();
+    version = leaf->lock.ReadLock();
+  }
+  return out->size();
+}
+
+uint64_t FastFair::Size() const {
+  // Walk to the leftmost leaf, then the sibling chain.
+  FfNode* node = PPtr<FfNode>(root_->root_raw).get();
+  while (!node->is_leaf) {
+    node = PPtr<FfNode>(node->leftmost_raw).get();
+  }
+  uint64_t total = 0;
+  while (node != nullptr) {
+    total += node->count;
+    node = PPtr<FfNode>(node->sibling_raw).get();
+  }
+  return total;
+}
+
+bool FastFair::CheckInvariants(std::string* why) const {
+  FfNode* node = PPtr<FfNode>(root_->root_raw).get();
+  while (!node->is_leaf) {
+    node = PPtr<FfNode>(node->leftmost_raw).get();
+  }
+  Key prev;
+  bool has_prev = false;
+  while (node != nullptr) {
+    for (uint32_t i = 0; i < node->count; ++i) {
+      Key k = DecodeKey(node->key_words[i]);
+      if (has_prev && !(prev < k)) {
+        *why = "leaf keys out of order";
+        return false;
+      }
+      prev = k;
+      has_prev = true;
+    }
+    node = PPtr<FfNode>(node->sibling_raw).get();
+  }
+  return true;
+}
+
+}  // namespace pactree

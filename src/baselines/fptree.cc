@@ -1,0 +1,792 @@
+#include "src/baselines/fptree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/nvm/persist.h"
+#include "src/pmem/registry.h"
+#include "src/sync/epoch.h"
+#include "src/sync/gen_sync.h"
+#include "src/sync/generation.h"
+
+namespace pactree {
+namespace {
+
+constexpr uint64_t kFpMagic = 0x3145455254504546ULL;
+
+inline uint64_t PackRoot(void* inner) { return reinterpret_cast<uint64_t>(inner); }
+inline uint64_t PackRootLeaf(uint64_t leaf_raw) { return leaf_raw | 1; }
+inline bool RootIsLeaf(uint64_t w) { return (w & 1) != 0; }
+inline FpInner* RootInner(uint64_t w) { return reinterpret_cast<FpInner*>(w); }
+inline uint64_t RootLeafRaw(uint64_t w) { return w & ~uint64_t{1}; }
+
+inline uint8_t FpFingerprint(uint64_t key_word) {
+  uint64_t h = key_word * 0x9e3779b97f4a7c15ULL;
+  return static_cast<uint8_t>(h >> 56);
+}
+
+}  // namespace
+
+struct FpTree::FpRoot {
+  uint64_t magic;
+  uint64_t head_leaf_raw;
+  uint64_t pad[6];
+  struct MuLogEntry {
+    uint64_t leaf_raw;      // splitting leaf
+    uint64_t new_leaf_raw;  // AllocTo placeholder
+  } mu_log[kFpMuLogSlots];
+};
+
+std::unique_ptr<FpTree> FpTree::Open(const FpTreeOptions& opts) {
+  auto tree = std::unique_ptr<FpTree>(new FpTree());
+  if (!tree->Init(opts)) {
+    return nullptr;
+  }
+  return tree;
+}
+
+void FpTree::Destroy(const std::string& name) { PmemHeap::Destroy(name); }
+
+FpTree::~FpTree() {
+  uint64_t w = root_word_.load(std::memory_order_acquire);
+  if (!RootIsLeaf(w)) {
+    FreeInnerRec(RootInner(w));
+  }
+}
+
+void FpTree::FreeInnerRec(FpInner* n) {
+  if (n == nullptr) {
+    return;
+  }
+  uint64_t m = n->meta;
+  if (!FpInner::MetaLeafChildren(m)) {
+    for (uint32_t i = 0; i <= FpInner::MetaCount(m); ++i) {
+      FreeInnerRec(reinterpret_cast<FpInner*>(n->children[i]));
+    }
+  }
+  delete n;
+}
+
+bool FpTree::Init(const FpTreeOptions& opts) {
+  opts_ = opts;
+  htm_ = std::make_unique<SoftHtm>(opts.htm);
+  PmemHeapOptions h;
+  h.pool_id_base = opts.pool_id_base;
+  h.pool_size = opts.pool_size;
+  h.single_pool = !opts.per_numa_pools;
+  heap_ = PmemHeap::OpenOrCreate(opts.name, h);
+  if (heap_ == nullptr) {
+    return false;
+  }
+  AdvanceGenerations({heap_.get()});
+  root_ = heap_->Root<FpRoot>();
+  if (root_->magic != kFpMagic) {
+    std::memset(static_cast<void*>(root_), 0, sizeof(FpRoot));
+    PPtr<void> leaf = heap_->Alloc(sizeof(FpLeaf));
+    if (leaf.IsNull()) {
+      return false;
+    }
+    PersistFence(leaf.get(), sizeof(FpLeaf));
+    root_->head_leaf_raw = leaf.raw;
+    PersistFence(root_, sizeof(FpRoot));
+    root_->magic = kFpMagic;
+    PersistFence(&root_->magic, sizeof(uint64_t));
+    root_word_.store(PackRootLeaf(leaf.raw), std::memory_order_release);
+  } else {
+    RecoverMuLog();
+    RebuildInner();
+  }
+  return true;
+}
+
+void FpTree::RecoverMuLog() {
+  for (auto& e : root_->mu_log) {
+    if (e.leaf_raw == 0) {
+      continue;
+    }
+    FpLeaf* leaf = PPtr<FpLeaf>(e.leaf_raw).get();
+    if (e.new_leaf_raw != 0) {
+      FpLeaf* fresh = PPtr<FpLeaf>(e.new_leaf_raw).get();
+      if (leaf->next_raw != e.new_leaf_raw) {
+        PmemFree(PPtr<void>(e.new_leaf_raw));  // never linked: reclaim
+      } else if (fresh->bitmap != 0) {
+        // Linked: make sure moved keys were trimmed from the splitting leaf.
+        uint64_t min_new = ~0ULL;
+        uint64_t bm = fresh->bitmap;
+        while (bm != 0) {
+          int i = __builtin_ctzll(bm);
+          min_new = std::min(min_new, fresh->keys[i]);
+          bm &= bm - 1;
+        }
+        uint64_t trimmed = leaf->bitmap;
+        bm = leaf->bitmap;
+        while (bm != 0) {
+          int i = __builtin_ctzll(bm);
+          if (leaf->keys[i] >= min_new) {
+            trimmed &= ~(1ULL << i);
+          }
+          bm &= bm - 1;
+        }
+        if (trimmed != leaf->bitmap) {
+          AtomicStorePersist(reinterpret_cast<std::atomic<uint64_t>*>(&leaf->bitmap),
+                             trimmed);
+        }
+      }
+    }
+    e.leaf_raw = 0;
+    e.new_leaf_raw = 0;
+    PersistFence(&e, sizeof(e));
+  }
+}
+
+void FpTree::RebuildInner() {
+  // Collect (min key, leaf raw) along the sorted leaf chain.
+  std::vector<std::pair<uint64_t, uint64_t>> leaves;
+  uint64_t raw = root_->head_leaf_raw;
+  while (raw != 0) {
+    FpLeaf* leaf = PPtr<FpLeaf>(raw).get();
+    uint64_t bm = leaf->bitmap;
+    uint64_t min_key = ~0ULL;
+    while (bm != 0) {
+      int i = __builtin_ctzll(bm);
+      min_key = std::min(min_key, leaf->keys[i]);
+      bm &= bm - 1;
+    }
+    leaves.emplace_back(min_key, raw);
+    raw = leaf->next_raw;
+  }
+  if (leaves.size() == 1) {
+    root_word_.store(PackRootLeaf(leaves[0].second), std::memory_order_release);
+    return;
+  }
+  // Build inner levels bottom-up.
+  std::vector<std::pair<uint64_t, uint64_t>> level = leaves;  // (sep, child-word)
+  bool leaf_children = true;
+  while (level.size() > 1) {
+    std::vector<std::pair<uint64_t, uint64_t>> up;
+    for (size_t i = 0; i < level.size();) {
+      size_t n = std::min(level.size() - i, kFpInnerFan);
+      if (level.size() - i - n == 1) {
+        n--;  // avoid a trailing 1-child node
+      }
+      auto* inner = new FpInner();
+      std::memset(static_cast<void*>(inner), 0, sizeof(FpInner));
+      inner->meta = FpInner::PackMeta(static_cast<uint32_t>(n - 1), leaf_children);
+      for (size_t j = 0; j < n; ++j) {
+        inner->children[j] = level[i + j].second;
+        if (j > 0) {
+          inner->keys[j - 1] = level[i + j].first;
+        }
+      }
+      up.emplace_back(level[i].first, reinterpret_cast<uint64_t>(inner));
+      i += n;
+    }
+    level = std::move(up);
+    leaf_children = false;
+  }
+  root_word_.store(PackRoot(reinterpret_cast<void*>(level[0].second)),
+                   std::memory_order_release);
+}
+
+// Direct (non-transactional) leaf-lock acquisition/release. Must bump the
+// HTM lock table so concurrent transactions that read the lock word abort;
+// a plain CAS here would be invisible to their commit-time validation.
+void FpTree::LeafLockDirect(FpLeaf* leaf) const {
+  auto* word = const_cast<uint64_t*>(leaf->lock.WordAddr());
+  while (true) {
+    uint64_t v = std::atomic_ref<uint64_t>(*word).load(std::memory_order_acquire);
+    if ((v & 1) == 0 && htm_->NonTxCas64(word, v, v + 1)) {
+      return;
+    }
+    CpuRelax();
+  }
+}
+
+void FpTree::LeafUnlock(FpLeaf* leaf) const {
+  auto* word = const_cast<uint64_t*>(leaf->lock.WordAddr());
+  uint64_t v = std::atomic_ref<uint64_t>(*word).load(std::memory_order_acquire);
+  htm_->NonTxWrite64(word, v + 1);
+}
+
+FpLeaf* FpTree::NewLeaf(int mu_slot) {
+  PPtr<void> p = heap_->AllocTo(ToPPtr(&root_->mu_log[mu_slot].new_leaf_raw),
+                                sizeof(FpLeaf));
+  return static_cast<FpLeaf*>(p.get());
+}
+
+// ---------------------------------------------------------------------------
+// Descent
+// ---------------------------------------------------------------------------
+
+uint64_t FpTree::FindLeafTxn(SoftHtm::Txn* txn, uint64_t key_word) const {
+  uint64_t w = txn->Read64(const_cast<std::atomic<uint64_t>*>(&root_word_));
+  if (!txn->ok()) {
+    return 0;
+  }
+  while (!RootIsLeaf(w)) {
+    FpInner* inner = RootInner(w);
+    uint64_t m = txn->Read64(&inner->meta);
+    uint32_t count = FpInner::MetaCount(m);
+    // Binary search over separators, each read transactionally.
+    uint32_t lo = 0;
+    uint32_t hi = count;
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      uint64_t sep = txn->Read64(&inner->keys[mid]);
+      if (!txn->ok()) {
+        return 0;
+      }
+      if (key_word < sep) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    uint64_t child = txn->Read64(&inner->children[lo]);
+    if (!txn->ok()) {
+      return 0;
+    }
+    if (FpInner::MetaLeafChildren(m)) {
+      return child;  // leaf PPtr raw
+    }
+    w = child;
+  }
+  return RootLeafRaw(w);
+}
+
+uint64_t FpTree::FindLeafDirect(uint64_t key_word) const {
+  uint64_t w = root_word_.load(std::memory_order_acquire);
+  while (!RootIsLeaf(w)) {
+    FpInner* inner = RootInner(w);
+    uint64_t m = inner->meta;
+    uint32_t count = FpInner::MetaCount(m);
+    uint32_t lo = 0;
+    uint32_t hi = count;
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      if (key_word < inner->keys[mid]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    uint64_t child = inner->children[lo];
+    if (FpInner::MetaLeafChildren(m)) {
+      return child;
+    }
+    w = child;
+  }
+  return RootLeafRaw(w);
+}
+
+int FpTree::LeafFindKey(const FpLeaf* leaf, uint64_t key_word,
+                        uint8_t fingerprint) const {
+  uint64_t live = std::atomic_ref<uint64_t>(const_cast<FpLeaf*>(leaf)->bitmap)
+                      .load(std::memory_order_acquire);
+  uint64_t bm = live;
+  while (bm != 0) {
+    int i = __builtin_ctzll(bm);
+    bm &= bm - 1;
+    if (leaf->fp[i] == fingerprint && leaf->keys[i] == key_word) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Lookup
+// ---------------------------------------------------------------------------
+
+Status FpTree::Lookup(const Key& key, uint64_t* value) const {
+  EpochGuard guard;
+  uint64_t key_word = KeyWord(key);
+  uint8_t fingerprint = FpFingerprint(key_word);
+  int retries = 0;
+  while (true) {
+    if (retries >= opts_.max_htm_retries) {
+      // Global fallback: exclusive, non-transactional.
+      const_cast<SoftHtm*>(htm_.get())->LockFallback();
+      uint64_t leaf_raw = FindLeafDirect(key_word);
+      FpLeaf* leaf = PPtr<FpLeaf>(leaf_raw).get();
+      AnnotateNvmRead(leaf, sizeof(FpLeaf));
+      int slot = LeafFindKey(leaf, key_word, fingerprint);
+      if (slot >= 0 && value != nullptr) {
+        *value = leaf->values[slot];
+      }
+      const_cast<SoftHtm*>(htm_.get())->UnlockFallback();
+      return slot >= 0 ? Status::kOk : Status::kNotFound;
+    }
+    SoftHtm::Txn txn(htm_.get());
+    if (!txn.Begin()) {
+      retries++;
+      continue;
+    }
+    uint64_t leaf_raw = FindLeafTxn(&txn, key_word);
+    if (!txn.ok()) {
+      retries++;
+      continue;
+    }
+    FpLeaf* leaf = PPtr<FpLeaf>(leaf_raw).get();
+    AnnotateNvmRead(leaf, 64);
+    // Read the leaf inside the transaction (the original executes the whole
+    // lookup in TSX): lock word, bitmap, fingerprints, then the match.
+    uint64_t lock_word = txn.Read64(leaf->lock.WordAddr());
+    if ((lock_word & 1) != 0) {
+      txn.Abort(HtmAbortCause::kConflict);
+      retries++;
+      continue;
+    }
+    uint64_t live = txn.Read64(&leaf->bitmap);
+    int found = -1;
+    uint64_t v = 0;
+    uint64_t bm = live;
+    while (bm != 0 && txn.ok()) {
+      int i = __builtin_ctzll(bm);
+      bm &= bm - 1;
+      if (leaf->fp[i] != fingerprint) {
+        continue;
+      }
+      AnnotateNvmRead(&leaf->keys[i], sizeof(uint64_t));
+      uint64_t k = txn.Read64(&leaf->keys[i]);
+      if (k == key_word) {
+        v = txn.Read64(&leaf->values[i]);
+        found = i;
+        break;
+      }
+    }
+    if (!txn.ok() || !txn.Commit()) {
+      retries++;
+      continue;
+    }
+    if (found < 0) {
+      return Status::kNotFound;
+    }
+    if (value != nullptr) {
+      *value = v;
+    }
+    return Status::kOk;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Insert / Remove
+// ---------------------------------------------------------------------------
+
+Status FpTree::LeafInsert(FpLeaf* leaf, uint64_t key_word, uint8_t fingerprint,
+                          uint64_t value, bool* needs_split) {
+  *needs_split = false;
+  int existing = LeafFindKey(leaf, key_word, fingerprint);
+  uint64_t live = leaf->bitmap;
+  if (existing >= 0) {
+    // Out-of-place update: new slot + one atomic bitmap flip.
+    if (live == ~0ULL >> (64 - kFpLeafSlots) && false) {
+      // unreachable guard
+    }
+    uint64_t free_mask = ~live & ((1ULL << kFpLeafSlots) - 1);
+    if (free_mask == 0) {
+      *needs_split = true;
+      return Status::kRetry;
+    }
+    int slot = __builtin_ctzll(free_mask);
+    leaf->keys[slot] = key_word;
+    leaf->values[slot] = value;
+    leaf->fp[slot] = fingerprint;
+    PersistRange(&leaf->keys[slot], sizeof(uint64_t));
+    PersistRange(&leaf->values[slot], sizeof(uint64_t));
+    PersistRange(&leaf->fp[slot], 1);
+    Fence();
+    uint64_t bm = (live | (1ULL << slot)) & ~(1ULL << existing);
+    AtomicStorePersist(reinterpret_cast<std::atomic<uint64_t>*>(&leaf->bitmap), bm);
+    return Status::kExists;
+  }
+  uint64_t free_mask = ~live & ((1ULL << kFpLeafSlots) - 1);
+  if (free_mask == 0) {
+    *needs_split = true;
+    return Status::kRetry;
+  }
+  int slot = __builtin_ctzll(free_mask);
+  leaf->keys[slot] = key_word;
+  leaf->values[slot] = value;
+  leaf->fp[slot] = fingerprint;
+  PersistRange(&leaf->keys[slot], sizeof(uint64_t));
+  PersistRange(&leaf->values[slot], sizeof(uint64_t));
+  PersistRange(&leaf->fp[slot], 1);
+  Fence();
+  AtomicStorePersist(reinterpret_cast<std::atomic<uint64_t>*>(&leaf->bitmap),
+                     live | (1ULL << slot));
+  return Status::kOk;
+}
+
+void FpTree::SplitLeaf(FpLeaf* leaf, uint64_t leaf_raw) {
+  // Pick a free micro-log slot (fallback lock held: no contention).
+  int mu_slot = -1;
+  for (size_t i = 0; i < kFpMuLogSlots; ++i) {
+    if (root_->mu_log[i].leaf_raw == 0) {
+      mu_slot = static_cast<int>(i);
+      break;
+    }
+  }
+  assert(mu_slot >= 0);
+  root_->mu_log[mu_slot].leaf_raw = leaf_raw;
+  root_->mu_log[mu_slot].new_leaf_raw = 0;
+  PersistFence(&root_->mu_log[mu_slot], sizeof(FpRoot::MuLogEntry));
+
+  FpLeaf* fresh = NewLeaf(mu_slot);
+  assert(fresh != nullptr);
+  uint64_t fresh_raw = root_->mu_log[mu_slot].new_leaf_raw;
+
+  // Median by sorting the live keys.
+  std::vector<std::pair<uint64_t, int>> sorted;
+  uint64_t bm = leaf->bitmap;
+  while (bm != 0) {
+    int i = __builtin_ctzll(bm);
+    sorted.emplace_back(leaf->keys[i], i);
+    bm &= bm - 1;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  size_t half = sorted.size() / 2;
+  uint64_t moved_bits = 0;
+  uint64_t fresh_bm = 0;
+  for (size_t i = half; i < sorted.size(); ++i) {
+    int src = sorted[i].second;
+    int dst = static_cast<int>(i - half);
+    fresh->keys[dst] = leaf->keys[src];
+    fresh->values[dst] = leaf->values[src];
+    fresh->fp[dst] = leaf->fp[src];
+    fresh_bm |= 1ULL << dst;
+    moved_bits |= 1ULL << src;
+  }
+  fresh->bitmap = fresh_bm;
+  fresh->next_raw = leaf->next_raw;
+  PersistFence(fresh, sizeof(FpLeaf));
+  // Link, then trim (bitmap is the pivot; recovery can redo the trim).
+  AtomicStorePersist(reinterpret_cast<std::atomic<uint64_t>*>(&leaf->next_raw),
+                     fresh_raw);
+  AtomicStorePersist(reinterpret_cast<std::atomic<uint64_t>*>(&leaf->bitmap),
+                     leaf->bitmap & ~moved_bits);
+
+  // DRAM inner update, synchronous, on the critical path (GC2). Conflict
+  // safety: every store bumps the HTM lock table.
+  InnerInsert(sorted[half].first, leaf_raw, fresh_raw);
+
+  root_->mu_log[mu_slot].leaf_raw = 0;
+  root_->mu_log[mu_slot].new_leaf_raw = 0;
+  PersistFence(&root_->mu_log[mu_slot], sizeof(FpRoot::MuLogEntry));
+}
+
+void FpTree::InnerInsert(uint64_t split_key, uint64_t left_raw, uint64_t right_raw) {
+  uint64_t w = root_word_.load(std::memory_order_acquire);
+  if (RootIsLeaf(w)) {
+    auto* inner = new FpInner();
+    std::memset(static_cast<void*>(inner), 0, sizeof(FpInner));
+    inner->children[0] = left_raw;
+    inner->children[1] = right_raw;
+    inner->keys[0] = split_key;
+    inner->meta = FpInner::PackMeta(1, /*leaf_children=*/true);
+    htm_->NonTxWrite64(&root_word_, PackRoot(inner));
+    return;
+  }
+  // Copy-on-write along the descent path; old nodes retire via epochs so
+  // in-flight transactions stay memory-safe.
+  struct PathEntry {
+    FpInner* node;
+    uint32_t child_idx;
+  };
+  std::vector<PathEntry> path;
+  FpInner* cur = RootInner(w);
+  while (true) {
+    uint64_t m = cur->meta;
+    uint32_t count = FpInner::MetaCount(m);
+    uint32_t lo = 0;
+    while (lo < count && split_key >= cur->keys[lo]) {
+      lo++;
+    }
+    path.push_back({cur, lo});
+    if (FpInner::MetaLeafChildren(m)) {
+      break;
+    }
+    cur = reinterpret_cast<FpInner*>(cur->children[lo]);
+  }
+  // Insert bottom-up with node copies.
+  uint64_t carry_key = split_key;
+  uint64_t carry_child = right_raw;
+  bool done = false;
+  for (int level = static_cast<int>(path.size()) - 1; level >= 0 && !done; --level) {
+    FpInner* node = path[level].node;
+    uint32_t idx = path[level].child_idx;
+    uint64_t m = node->meta;
+    uint32_t count = FpInner::MetaCount(m);
+    auto* copy = new FpInner(*node);
+    if (count + 1 < kFpInnerFan) {
+      for (uint32_t j = count; j > idx; --j) {
+        copy->keys[j] = copy->keys[j - 1];
+      }
+      for (uint32_t j = count + 1; j > idx + 1; --j) {
+        copy->children[j] = copy->children[j - 1];
+      }
+      copy->keys[idx] = carry_key;
+      copy->children[idx + 1] = carry_child;
+      copy->meta = FpInner::PackMeta(count + 1, FpInner::MetaLeafChildren(m));
+      done = true;
+    } else {
+      // Split the copy: left keeps [0, mid), median moves up.
+      uint64_t keys_tmp[kFpInnerFan];
+      uint64_t children_tmp[kFpInnerFan + 1];
+      std::memcpy(keys_tmp, node->keys, sizeof(uint64_t) * count);
+      std::memcpy(children_tmp, node->children, sizeof(uint64_t) * (count + 1));
+      for (uint32_t j = count; j > idx; --j) {
+        keys_tmp[j] = keys_tmp[j - 1];
+      }
+      for (uint32_t j = count + 1; j > idx + 1; --j) {
+        children_tmp[j] = children_tmp[j - 1];
+      }
+      keys_tmp[idx] = carry_key;
+      children_tmp[idx + 1] = carry_child;
+      uint32_t total = count + 1;
+      uint32_t mid = total / 2;
+      auto* right = new FpInner();
+      std::memset(static_cast<void*>(copy), 0, sizeof(FpInner));
+      std::memset(static_cast<void*>(right), 0, sizeof(FpInner));
+      bool lc = FpInner::MetaLeafChildren(m);
+      copy->meta = FpInner::PackMeta(mid, lc);
+      std::memcpy(copy->keys, keys_tmp, sizeof(uint64_t) * mid);
+      std::memcpy(copy->children, children_tmp, sizeof(uint64_t) * (mid + 1));
+      uint32_t rcount = total - mid - 1;
+      right->meta = FpInner::PackMeta(rcount, lc);
+      std::memcpy(right->keys, keys_tmp + mid + 1, sizeof(uint64_t) * rcount);
+      std::memcpy(right->children, children_tmp + mid + 1,
+                  sizeof(uint64_t) * (rcount + 1));
+      carry_key = keys_tmp[mid];
+      carry_child = reinterpret_cast<uint64_t>(right);
+    }
+    // Swing the parent's pointer (or the root) to the copy.
+    uint64_t copy_word = reinterpret_cast<uint64_t>(copy);
+    if (level == 0) {
+      if (done) {
+        htm_->NonTxWrite64(&root_word_, copy_word);
+      } else {
+        auto* new_root = new FpInner();
+        std::memset(static_cast<void*>(new_root), 0, sizeof(FpInner));
+        new_root->children[0] = copy_word;
+        new_root->children[1] = carry_child;
+        new_root->keys[0] = carry_key;
+        new_root->meta = FpInner::PackMeta(1, /*leaf_children=*/false);
+        htm_->NonTxWrite64(&root_word_, PackRoot(new_root));
+        done = true;
+      }
+    } else {
+      FpInner* parent = path[level - 1].node;
+      htm_->NonTxWrite64(&parent->children[path[level - 1].child_idx], copy_word);
+      // The parent keeps its identity; if a split carried up, continue the
+      // loop to insert (carry_key, carry_child) into the parent.
+    }
+    EpochManager::Instance().Retire(
+        PPtr<void>::Null(), [](void* p) { delete static_cast<FpInner*>(p); }, node);
+  }
+}
+
+Status FpTree::Insert(const Key& key, uint64_t value) {
+  EpochGuard guard;
+  uint64_t key_word = KeyWord(key);
+  uint8_t fingerprint = FpFingerprint(key_word);
+  int retries = 0;
+  while (true) {
+    FpLeaf* leaf = nullptr;
+    uint64_t leaf_raw = 0;
+    bool have_fallback = false;
+    if (retries >= opts_.max_htm_retries) {
+      htm_->LockFallback();
+      have_fallback = true;
+      leaf_raw = FindLeafDirect(key_word);
+      leaf = PPtr<FpLeaf>(leaf_raw).get();
+      LeafLockDirect(leaf);
+    } else {
+      SoftHtm::Txn txn(htm_.get());
+      if (!txn.Begin()) {
+        retries++;
+        continue;
+      }
+      leaf_raw = FindLeafTxn(&txn, key_word);
+      if (!txn.ok()) {
+        retries++;
+        continue;
+      }
+      leaf = PPtr<FpLeaf>(leaf_raw).get();
+      // Transactionally acquire the leaf lock, then commit (TSX idiom).
+      uint64_t lock_word = txn.Read64(leaf->lock.WordAddr());
+      if ((lock_word & 1) != 0) {
+        txn.Abort(HtmAbortCause::kConflict);
+        retries++;
+        continue;
+      }
+      txn.Write64(const_cast<uint64_t*>(leaf->lock.WordAddr()), lock_word + 1);
+      if (!txn.Commit()) {
+        retries++;
+        continue;
+      }
+    }
+    AnnotateNvmRead(leaf, sizeof(FpLeaf));
+    bool needs_split = false;
+    Status s = LeafInsert(leaf, key_word, fingerprint, value, &needs_split);
+    if (!needs_split) {
+      LeafUnlock(leaf);
+      if (have_fallback) {
+        htm_->UnlockFallback();
+      }
+      return s;
+    }
+    // Split path: the DRAM inner update needs the fallback lock. Lock order
+    // is fallback -> leaf everywhere, so release the leaf first (another
+    // fallback-path writer may be spinning on it while holding the fallback
+    // lock), then re-acquire and re-check under the fallback lock.
+    if (!have_fallback) {
+      LeafUnlock(leaf);
+      htm_->LockFallback();
+      LeafLockDirect(leaf);
+      uint64_t live = std::atomic_ref<uint64_t>(leaf->bitmap).load(std::memory_order_acquire);
+      if ((~live & ((1ULL << kFpLeafSlots) - 1)) != 0) {
+        // Someone split it meanwhile; retry the insert.
+        LeafUnlock(leaf);
+        htm_->UnlockFallback();
+        retries = 0;
+        continue;
+      }
+    }
+    SplitLeaf(leaf, leaf_raw);
+    LeafUnlock(leaf);
+    htm_->UnlockFallback();
+    retries = 0;  // retry the insert into the split halves
+  }
+}
+
+Status FpTree::Remove(const Key& key) {
+  EpochGuard guard;
+  uint64_t key_word = KeyWord(key);
+  uint8_t fingerprint = FpFingerprint(key_word);
+  int retries = 0;
+  while (true) {
+    FpLeaf* leaf = nullptr;
+    bool have_fallback = false;
+    if (retries >= opts_.max_htm_retries) {
+      htm_->LockFallback();
+      have_fallback = true;
+      leaf = PPtr<FpLeaf>(FindLeafDirect(key_word)).get();
+      LeafLockDirect(leaf);
+    } else {
+      SoftHtm::Txn txn(htm_.get());
+      if (!txn.Begin()) {
+        retries++;
+        continue;
+      }
+      uint64_t leaf_raw = FindLeafTxn(&txn, key_word);
+      if (!txn.ok()) {
+        retries++;
+        continue;
+      }
+      leaf = PPtr<FpLeaf>(leaf_raw).get();
+      uint64_t lock_word = txn.Read64(leaf->lock.WordAddr());
+      if ((lock_word & 1) != 0) {
+        txn.Abort(HtmAbortCause::kConflict);
+        retries++;
+        continue;
+      }
+      txn.Write64(const_cast<uint64_t*>(leaf->lock.WordAddr()), lock_word + 1);
+      if (!txn.Commit()) {
+        retries++;
+        continue;
+      }
+    }
+    AnnotateNvmRead(leaf, sizeof(FpLeaf));
+    int slot = LeafFindKey(leaf, key_word, fingerprint);
+    if (slot >= 0) {
+      AtomicStorePersist(reinterpret_cast<std::atomic<uint64_t>*>(&leaf->bitmap),
+                         leaf->bitmap & ~(1ULL << slot));
+    }
+    LeafUnlock(leaf);
+    if (have_fallback) {
+      htm_->UnlockFallback();
+    }
+    return slot >= 0 ? Status::kOk : Status::kNotFound;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scan (unsorted leaves: gather + sort + filter -- FP-Tree's weakness)
+// ---------------------------------------------------------------------------
+
+size_t FpTree::Scan(const Key& start, size_t count,
+                    std::vector<std::pair<Key, uint64_t>>* out) const {
+  EpochGuard guard;
+  out->clear();
+  uint64_t start_word = KeyWord(start);
+  int retries = 0;
+  uint64_t leaf_raw = 0;
+  while (leaf_raw == 0) {
+    if (retries >= opts_.max_htm_retries) {
+      const_cast<SoftHtm*>(htm_.get())->LockFallback();
+      leaf_raw = FindLeafDirect(start_word);
+      const_cast<SoftHtm*>(htm_.get())->UnlockFallback();
+      break;
+    }
+    SoftHtm::Txn txn(htm_.get());
+    if (!txn.Begin()) {
+      retries++;
+      continue;
+    }
+    leaf_raw = FindLeafTxn(&txn, start_word);
+    if (!txn.ok() || !txn.Commit()) {
+      leaf_raw = 0;
+      retries++;
+    }
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> batch;
+  while (leaf_raw != 0 && out->size() < count) {
+    FpLeaf* leaf = PPtr<FpLeaf>(leaf_raw).get();
+    uint64_t next;
+    while (true) {
+      batch.clear();
+      AnnotateNvmRead(leaf, sizeof(FpLeaf));
+      uint64_t token;
+      if (!leaf->lock.TryReadLock(&token)) {
+        CpuRelax();
+        continue;
+      }
+      uint64_t bm = std::atomic_ref<uint64_t>(leaf->bitmap).load(std::memory_order_acquire);
+      while (bm != 0) {
+        int i = __builtin_ctzll(bm);
+        bm &= bm - 1;
+        if (leaf->keys[i] >= start_word) {
+          batch.emplace_back(leaf->keys[i], leaf->values[i]);
+        }
+      }
+      next = leaf->next_raw;
+      if (leaf->lock.Validate(token)) {
+        break;
+      }
+    }
+    std::sort(batch.begin(), batch.end());
+    for (const auto& [k, v] : batch) {
+      if (out->size() >= count) {
+        break;
+      }
+      out->emplace_back(Key::FromInt(k), v);
+    }
+    leaf_raw = next;
+  }
+  return out->size();
+}
+
+uint64_t FpTree::Size() const {
+  uint64_t total = 0;
+  uint64_t raw = root_->head_leaf_raw;
+  while (raw != 0) {
+    FpLeaf* leaf = PPtr<FpLeaf>(raw).get();
+    total += static_cast<uint64_t>(__builtin_popcountll(leaf->bitmap));
+    raw = leaf->next_raw;
+  }
+  return total;
+}
+
+}  // namespace pactree

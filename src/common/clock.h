@@ -1,0 +1,33 @@
+// Monotonic nanosecond clock + calibrated busy-wait used for NVM latency injection.
+#ifndef PACTREE_SRC_COMMON_CLOCK_H_
+#define PACTREE_SRC_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/common/compiler.h"
+
+namespace pactree {
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Busy-waits for approximately |ns| nanoseconds. Used to emulate NVM media
+// latency; the spin keeps the delay on the calling thread's critical path,
+// exactly like a stalled clwb would.
+inline void SpinNs(uint64_t ns) {
+  if (ns == 0) {
+    return;
+  }
+  uint64_t deadline = NowNs() + ns;
+  while (NowNs() < deadline) {
+    CpuRelax();
+  }
+}
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_COMMON_CLOCK_H_

@@ -1,0 +1,37 @@
+// Small portability helpers: cache-line constants, pause, branch hints.
+#ifndef PACTREE_SRC_COMMON_COMPILER_H_
+#define PACTREE_SRC_COMMON_COMPILER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace pactree {
+
+inline constexpr size_t kCacheLineSize = 64;
+// Optane media access granularity (one XPLine).
+inline constexpr size_t kXpLineSize = 256;
+
+inline void CpuRelax() {
+#if defined(__x86_64__)
+  _mm_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+#define PACTREE_LIKELY(x) __builtin_expect(!!(x), 1)
+#define PACTREE_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+inline uintptr_t CacheLineOf(const void* p) {
+  return reinterpret_cast<uintptr_t>(p) & ~(kCacheLineSize - 1);
+}
+
+inline uintptr_t XpLineOf(uintptr_t p) { return p & ~(kXpLineSize - 1); }
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_COMMON_COMPILER_H_

@@ -1,0 +1,53 @@
+// Environment-variable helpers used by benchmark binaries to scale experiments
+// (PAC_KEYS, PAC_THREADS, PAC_OPS, ...).
+#ifndef PACTREE_SRC_COMMON_ENV_H_
+#define PACTREE_SRC_COMMON_ENV_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace pactree {
+
+inline uint64_t EnvU64(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return def;
+  }
+  char* end = nullptr;
+  uint64_t parsed = std::strtoull(v, &end, 10);
+  // Accept k/m/g suffixes: PAC_KEYS=64m.
+  if (end != nullptr) {
+    switch (*end) {
+      case 'k':
+      case 'K':
+        parsed *= 1000;
+        break;
+      case 'm':
+      case 'M':
+        parsed *= 1000 * 1000;
+        break;
+      case 'g':
+      case 'G':
+        parsed *= 1000 * 1000 * 1000;
+        break;
+      default:
+        break;
+    }
+  }
+  return parsed;
+}
+
+inline double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? def : std::atof(v);
+}
+
+inline std::string EnvStr(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? def : std::string(v);
+}
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_COMMON_ENV_H_

@@ -1,0 +1,98 @@
+// Log-bucketed latency histogram (HdrHistogram-style) for the tail-latency
+// experiments (paper Figure 13). Mergeable across threads; reports percentiles.
+#ifndef PACTREE_SRC_COMMON_HISTOGRAM_H_
+#define PACTREE_SRC_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace pactree {
+
+class LatencyHistogram {
+ public:
+  // 64 exponents x 16 linear sub-buckets covers [0, 2^63] ns with <6.25% error.
+  static constexpr int kExponents = 64;
+  static constexpr int kSubBuckets = 16;
+
+  LatencyHistogram() { Reset(); }
+
+  void Reset() {
+    counts_.fill(0);
+    total_ = 0;
+    max_ = 0;
+  }
+
+  void Record(uint64_t value_ns) {
+    counts_[BucketOf(value_ns)]++;
+    total_++;
+    if (value_ns > max_) {
+      max_ = value_ns;
+    }
+  }
+
+  void Merge(const LatencyHistogram& o) {
+    for (size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += o.counts_[i];
+    }
+    total_ += o.total_;
+    if (o.max_ > max_) {
+      max_ = o.max_;
+    }
+  }
+
+  uint64_t TotalCount() const { return total_; }
+  uint64_t Max() const { return max_; }
+
+  // Returns the lower bound of the bucket containing the p-th percentile
+  // (p in [0, 100]).
+  uint64_t Percentile(double p) const {
+    if (total_ == 0) {
+      return 0;
+    }
+    uint64_t target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total_));
+    if (target >= total_) {
+      target = total_ - 1;
+    }
+    uint64_t seen = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+      seen += counts_[i];
+      if (seen > target) {
+        return BucketLowerBound(i);
+      }
+    }
+    return max_;
+  }
+
+ private:
+  static size_t BucketOf(uint64_t v) {
+    if (v < kSubBuckets) {
+      return static_cast<size_t>(v);
+    }
+    int msb = 63 - __builtin_clzll(v);
+    int shift = msb - 4;  // keep 4 bits of mantissa after the leading 1
+    size_t exponent = static_cast<size_t>(msb - 3);
+    size_t sub = static_cast<size_t>((v >> shift) & (kSubBuckets - 1));
+    size_t idx = exponent * kSubBuckets + sub;
+    return idx < kExponents * kSubBuckets ? idx : kExponents * kSubBuckets - 1;
+  }
+
+  static uint64_t BucketLowerBound(size_t idx) {
+    size_t exponent = idx / kSubBuckets;
+    size_t sub = idx % kSubBuckets;
+    if (exponent == 0) {
+      return sub;
+    }
+    int msb = static_cast<int>(exponent) + 3;
+    uint64_t base = 1ULL << msb;
+    return base | (static_cast<uint64_t>(sub) << (msb - 4));
+  }
+
+  std::array<uint64_t, kExponents * kSubBuckets> counts_;
+  uint64_t total_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,39 @@
+// Result codes shared by every index implementation in this repository.
+#ifndef PACTREE_SRC_COMMON_STATUS_H_
+#define PACTREE_SRC_COMMON_STATUS_H_
+
+namespace pactree {
+
+enum class Status {
+  kOk = 0,
+  kNotFound,   // key absent
+  kExists,     // insert hit an existing key
+  kRetry,      // optimistic validation failed; caller retries
+  kFull,       // node/structure out of space (internal)
+  kCorrupted,  // recovery found an unrecoverable inconsistency
+  kIoError,    // pool open/map failure
+};
+
+inline const char* StatusString(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kNotFound:
+      return "not-found";
+    case Status::kExists:
+      return "exists";
+    case Status::kRetry:
+      return "retry";
+    case Status::kFull:
+      return "full";
+    case Status::kCorrupted:
+      return "corrupted";
+    case Status::kIoError:
+      return "io-error";
+  }
+  return "unknown";
+}
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_COMMON_STATUS_H_

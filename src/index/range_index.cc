@@ -1,0 +1,238 @@
+#include "src/index/range_index.h"
+
+#include <atomic>
+
+#include "src/art/art.h"
+#include "src/baselines/bztree.h"
+#include "src/baselines/fastfair.h"
+#include "src/baselines/fptree.h"
+#include "src/pactree/pactree.h"
+#include "src/sync/epoch.h"
+#include "src/sync/gen_sync.h"
+
+namespace pactree {
+namespace {
+
+// Auto-assigned pool id bases: 32 ids per index instance, starting high enough
+// to never collide with the fixed ids used in tests/examples.
+std::atomic<uint16_t> g_next_pool_base{1000};
+
+uint16_t PoolBase(const IndexFactoryOptions& opts) {
+  if (opts.pool_id_base != 0) {
+    return opts.pool_id_base;
+  }
+  return g_next_pool_base.fetch_add(32, std::memory_order_relaxed);
+}
+
+class PacTreeIndex : public RangeIndex {
+ public:
+  explicit PacTreeIndex(std::unique_ptr<PacTree> tree) : tree_(std::move(tree)) {}
+  Status Insert(const Key& k, uint64_t v) override { return tree_->Insert(k, v); }
+  Status Update(const Key& k, uint64_t v) override {
+    Status s = tree_->Update(k, v);
+    // YCSB updates may target not-yet-inserted keys in mixed phases.
+    return s == Status::kNotFound ? tree_->Insert(k, v) : s;
+  }
+  Status Lookup(const Key& k, uint64_t* v) const override { return tree_->Lookup(k, v); }
+  Status Remove(const Key& k) override { return tree_->Remove(k); }
+  size_t Scan(const Key& s, size_t n,
+              std::vector<std::pair<Key, uint64_t>>* out) const override {
+    return tree_->Scan(s, n, out);
+  }
+  uint64_t Size() const override { return tree_->Size(); }
+  std::string Name() const override { return "PACTree"; }
+  void Drain() override { tree_->DrainSmoLogs(); }
+  PacTree* tree() { return tree_.get(); }
+
+ private:
+  std::unique_ptr<PacTree> tree_;
+};
+
+class PdlArtIndex : public RangeIndex {
+ public:
+  PdlArtIndex(std::unique_ptr<PmemHeap> heap, std::string name)
+      : heap_(std::move(heap)), name_(std::move(name)) {
+    AdvanceGenerations({heap_.get()});
+    art_ = std::make_unique<PdlArt>(heap_.get(), heap_->Root<ArtTreeRoot>());
+    art_->Recover();
+  }
+  Status Insert(const Key& k, uint64_t v) override {
+    Status s = art_->Insert(k, v);
+    return s;
+  }
+  Status Lookup(const Key& k, uint64_t* v) const override { return art_->Lookup(k, v); }
+  Status Remove(const Key& k) override { return art_->Remove(k); }
+  size_t Scan(const Key& s, size_t n,
+              std::vector<std::pair<Key, uint64_t>>* out) const override {
+    return art_->Scan(s, n, out);
+  }
+  uint64_t Size() const override { return art_->Size(); }
+  std::string Name() const override { return "PDL-ART"; }
+  const std::string& heap_name() const { return name_; }
+
+ private:
+  std::unique_ptr<PmemHeap> heap_;
+  std::unique_ptr<PdlArt> art_;
+  std::string name_;
+};
+
+class FastFairIndex : public RangeIndex {
+ public:
+  explicit FastFairIndex(std::unique_ptr<FastFair> tree) : tree_(std::move(tree)) {}
+  Status Insert(const Key& k, uint64_t v) override { return tree_->Insert(k, v); }
+  Status Lookup(const Key& k, uint64_t* v) const override { return tree_->Lookup(k, v); }
+  Status Remove(const Key& k) override { return tree_->Remove(k); }
+  size_t Scan(const Key& s, size_t n,
+              std::vector<std::pair<Key, uint64_t>>* out) const override {
+    return tree_->Scan(s, n, out);
+  }
+  uint64_t Size() const override { return tree_->Size(); }
+  std::string Name() const override { return "FastFair"; }
+
+ private:
+  std::unique_ptr<FastFair> tree_;
+};
+
+class FpTreeIndex : public RangeIndex {
+ public:
+  explicit FpTreeIndex(std::unique_ptr<FpTree> tree) : tree_(std::move(tree)) {}
+  Status Insert(const Key& k, uint64_t v) override { return tree_->Insert(k, v); }
+  Status Lookup(const Key& k, uint64_t* v) const override { return tree_->Lookup(k, v); }
+  Status Remove(const Key& k) override { return tree_->Remove(k); }
+  size_t Scan(const Key& s, size_t n,
+              std::vector<std::pair<Key, uint64_t>>* out) const override {
+    return tree_->Scan(s, n, out);
+  }
+  uint64_t Size() const override { return tree_->Size(); }
+  std::string Name() const override { return "FPTree"; }
+  // The authors' FP-Tree binary supports fixed 8-byte keys only (paper §6).
+  bool SupportsStringKeys() const override { return false; }
+  FpTree* tree() { return tree_.get(); }
+
+ private:
+  std::unique_ptr<FpTree> tree_;
+};
+
+class BzTreeIndex : public RangeIndex {
+ public:
+  explicit BzTreeIndex(std::unique_ptr<BzTree> tree) : tree_(std::move(tree)) {}
+  Status Insert(const Key& k, uint64_t v) override { return tree_->Insert(k, v); }
+  Status Lookup(const Key& k, uint64_t* v) const override { return tree_->Lookup(k, v); }
+  Status Remove(const Key& k) override { return tree_->Remove(k); }
+  size_t Scan(const Key& s, size_t n,
+              std::vector<std::pair<Key, uint64_t>>* out) const override {
+    return tree_->Scan(s, n, out);
+  }
+  uint64_t Size() const override { return tree_->Size(); }
+  std::string Name() const override { return "BzTree"; }
+
+ private:
+  std::unique_ptr<BzTree> tree_;
+};
+
+}  // namespace
+
+const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kPacTree:
+      return "pactree";
+    case IndexKind::kPdlArt:
+      return "pdlart";
+    case IndexKind::kFastFair:
+      return "fastfair";
+    case IndexKind::kFpTree:
+      return "fptree";
+    case IndexKind::kBzTree:
+      return "bztree";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<RangeIndex> CreateIndex(IndexKind kind, const IndexFactoryOptions& opts) {
+  std::string name = opts.name.empty() ? IndexKindName(kind) : opts.name;
+  uint16_t base = PoolBase(opts);
+  switch (kind) {
+    case IndexKind::kPacTree: {
+      PacTree::Destroy(name);
+      PacTreeOptions o;
+      o.name = name;
+      o.pool_id_base = base;
+      o.pool_size = opts.pool_size;
+      o.async_search_update = opts.pactree_async_update;
+      o.selective_persistence = opts.pactree_selective_persistence;
+      o.dram_search_layer = opts.pactree_dram_search_layer;
+      o.per_numa_pools = opts.per_numa_pools;
+      auto tree = PacTree::Open(o);
+      return tree == nullptr ? nullptr
+                             : std::make_unique<PacTreeIndex>(std::move(tree));
+    }
+    case IndexKind::kPdlArt: {
+      PmemHeap::Destroy(name);
+      PmemHeapOptions h;
+      h.pool_id_base = base;
+      h.pool_size = opts.pool_size;
+      h.single_pool = !opts.per_numa_pools;
+      auto heap = PmemHeap::OpenOrCreate(name, h);
+      return heap == nullptr ? nullptr
+                             : std::make_unique<PdlArtIndex>(std::move(heap), name);
+    }
+    case IndexKind::kFastFair: {
+      FastFair::Destroy(name);
+      FastFairOptions o;
+      o.name = name;
+      o.pool_id_base = base;
+      o.pool_size = opts.pool_size;
+      o.string_keys = opts.string_keys;
+      o.per_numa_pools = opts.per_numa_pools;
+      auto tree = FastFair::Open(o);
+      return tree == nullptr ? nullptr
+                             : std::make_unique<FastFairIndex>(std::move(tree));
+    }
+    case IndexKind::kFpTree: {
+      FpTree::Destroy(name);
+      FpTreeOptions o;
+      o.name = name;
+      o.pool_id_base = base;
+      o.pool_size = opts.pool_size;
+      o.per_numa_pools = opts.per_numa_pools;
+      o.htm.spurious_abort_per_line = opts.fptree_spurious_abort_per_line;
+      auto tree = FpTree::Open(o);
+      return tree == nullptr ? nullptr : std::make_unique<FpTreeIndex>(std::move(tree));
+    }
+    case IndexKind::kBzTree: {
+      BzTree::Destroy(name);
+      BzTreeOptions o;
+      o.name = name;
+      o.pool_id_base = base;
+      o.pool_size = opts.pool_size;
+      o.per_numa_pools = opts.per_numa_pools;
+      auto tree = BzTree::Open(o);
+      return tree == nullptr ? nullptr : std::make_unique<BzTreeIndex>(std::move(tree));
+    }
+  }
+  return nullptr;
+}
+
+void DestroyIndex(IndexKind kind, const std::string& name) {
+  std::string n = name.empty() ? IndexKindName(kind) : name;
+  switch (kind) {
+    case IndexKind::kPacTree:
+      PacTree::Destroy(n);
+      break;
+    case IndexKind::kPdlArt:
+      PmemHeap::Destroy(n);
+      break;
+    case IndexKind::kFastFair:
+      FastFair::Destroy(n);
+      break;
+    case IndexKind::kFpTree:
+      FpTree::Destroy(n);
+      break;
+    case IndexKind::kBzTree:
+      BzTree::Destroy(n);
+      break;
+  }
+  EpochManager::Instance().DrainAll();
+}
+
+}  // namespace pactree

@@ -1,0 +1,68 @@
+// Uniform interface over every persistent range index in this repository, plus
+// a factory. The benchmark harness (bench/) drives indexes exclusively through
+// this interface, like the paper's index-microbench.
+#ifndef PACTREE_SRC_INDEX_RANGE_INDEX_H_
+#define PACTREE_SRC_INDEX_RANGE_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/key.h"
+#include "src/common/status.h"
+
+namespace pactree {
+
+class RangeIndex {
+ public:
+  virtual ~RangeIndex() = default;
+
+  virtual Status Insert(const Key& key, uint64_t value) = 0;  // upsert
+  // Paper §6: "we replace the update operation with insert" for indexes that
+  // lack native update; the default does exactly that.
+  virtual Status Update(const Key& key, uint64_t value) { return Insert(key, value); }
+  virtual Status Lookup(const Key& key, uint64_t* value) const = 0;
+  virtual Status Remove(const Key& key) = 0;
+  virtual size_t Scan(const Key& start, size_t count,
+                      std::vector<std::pair<Key, uint64_t>>* out) const = 0;
+
+  virtual uint64_t Size() const = 0;
+  virtual std::string Name() const = 0;
+  virtual bool SupportsStringKeys() const { return true; }
+  // Flushes background work (PACTree's SMO logs) before measurement phases.
+  virtual void Drain() {}
+};
+
+enum class IndexKind {
+  kPacTree,
+  kPdlArt,
+  kFastFair,
+  kFpTree,
+  kBzTree,
+};
+
+const char* IndexKindName(IndexKind kind);
+
+struct IndexFactoryOptions {
+  std::string name;        // pool file prefix; defaults to the kind's name
+  uint16_t pool_id_base = 0;  // 0 -> auto-assigned
+  size_t pool_size = 512ULL << 20;
+  bool string_keys = false;  // FastFair: out-of-node key records
+  bool per_numa_pools = true;
+  // PACTree factor-analysis toggles (ignored by other kinds).
+  bool pactree_async_update = true;
+  bool pactree_selective_persistence = true;
+  bool pactree_dram_search_layer = false;
+  // FP-Tree HTM model (ignored by other kinds).
+  double fptree_spurious_abort_per_line = 0.0;
+};
+
+// Creates a fresh index (destroys leftover pools of the same name first).
+std::unique_ptr<RangeIndex> CreateIndex(IndexKind kind, const IndexFactoryOptions& opts);
+
+// Removes an index's backing pools.
+void DestroyIndex(IndexKind kind, const std::string& name);
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_INDEX_RANGE_INDEX_H_

@@ -1,0 +1,68 @@
+#include "src/nvm/address_map.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace pactree {
+namespace {
+
+constexpr size_t kMaxRanges = 256;
+
+// Append-only table; lookups scan without locks. `count` is released after a
+// slot is fully initialized so readers never observe a torn entry.
+NvmRange g_ranges[kMaxRanges];
+std::atomic<size_t> g_count{0};
+std::mutex g_mu;
+
+}  // namespace
+
+void RegisterNvmRange(void* base, size_t size, uint32_t node, uint16_t pool_id) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  size_t n = g_count.load(std::memory_order_relaxed);
+  // Reuse a deactivated slot if possible.
+  for (size_t i = 0; i < n; ++i) {
+    if (!g_ranges[i].active) {
+      g_ranges[i].base = reinterpret_cast<uintptr_t>(base);
+      g_ranges[i].size = size;
+      g_ranges[i].node = node;
+      g_ranges[i].pool_id = pool_id;
+      std::atomic_thread_fence(std::memory_order_release);
+      g_ranges[i].active = true;
+      return;
+    }
+  }
+  if (n >= kMaxRanges) {
+    return;  // silently unmodeled; media accounting simply skips the range
+  }
+  g_ranges[n].base = reinterpret_cast<uintptr_t>(base);
+  g_ranges[n].size = size;
+  g_ranges[n].node = node;
+  g_ranges[n].pool_id = pool_id;
+  g_ranges[n].active = true;
+  g_count.store(n + 1, std::memory_order_release);
+}
+
+void UnregisterNvmRange(void* base) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  size_t n = g_count.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    if (g_ranges[i].base == reinterpret_cast<uintptr_t>(base)) {
+      g_ranges[i].active = false;
+      return;
+    }
+  }
+}
+
+const NvmRange* LookupNvmRange(const void* p) {
+  uintptr_t addr = reinterpret_cast<uintptr_t>(p);
+  size_t n = g_count.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    const NvmRange& r = g_ranges[i];
+    if (r.active && addr >= r.base && addr < r.base + r.size) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace pactree

@@ -1,0 +1,29 @@
+// Registry of mapped NVM ranges: which addresses are "on NVM", and which logical
+// NUMA node owns them. Pool creation registers here; the media model consults it.
+#ifndef PACTREE_SRC_NVM_ADDRESS_MAP_H_
+#define PACTREE_SRC_NVM_ADDRESS_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pactree {
+
+struct NvmRange {
+  uintptr_t base = 0;
+  size_t size = 0;
+  uint32_t node = 0;     // owning logical NUMA node
+  uint16_t pool_id = 0;  // pmem pool id (0 = unregistered)
+  bool active = false;
+};
+
+// Registers/unregisters a mapped range. Thread-safe; ranges are few.
+void RegisterNvmRange(void* base, size_t size, uint32_t node, uint16_t pool_id);
+void UnregisterNvmRange(void* base);
+
+// Returns the range containing p, or nullptr if p is not on emulated NVM.
+// Lock-free lookup (ranges are only appended / deactivated).
+const NvmRange* LookupNvmRange(const void* p);
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_NVM_ADDRESS_MAP_H_

@@ -1,0 +1,63 @@
+#include "src/nvm/bandwidth.h"
+
+#include "src/common/clock.h"
+#include "src/nvm/config.h"
+
+namespace pactree {
+
+void TokenBucket::Configure(uint64_t bytes_per_sec, uint64_t burst_bytes) {
+  if (bytes_per_sec == 0) {
+    ns_per_byte_ = 0.0;
+    return;
+  }
+  ns_per_byte_ = 1e9 / static_cast<double>(bytes_per_sec);
+  burst_ns_ = static_cast<uint64_t>(static_cast<double>(burst_bytes) * ns_per_byte_);
+  virtual_ns_.store(NowNs(), std::memory_order_relaxed);
+}
+
+void TokenBucket::Consume(uint64_t bytes) {
+  if (ns_per_byte_ == 0.0) {
+    return;
+  }
+  uint64_t cost = static_cast<uint64_t>(static_cast<double>(bytes) * ns_per_byte_);
+  uint64_t now = NowNs();
+  // If the bucket has been idle, pull the virtual clock forward so old credit
+  // does not accumulate beyond the burst allowance.
+  uint64_t vt = virtual_ns_.load(std::memory_order_relaxed);
+  while (vt + burst_ns_ < now) {
+    if (virtual_ns_.compare_exchange_weak(vt, now - burst_ns_, std::memory_order_relaxed)) {
+      vt = now - burst_ns_;
+      break;
+    }
+  }
+  uint64_t end = virtual_ns_.fetch_add(cost, std::memory_order_relaxed) + cost;
+  if (end > now + burst_ns_) {
+    SpinNs(end - now - burst_ns_);
+  }
+}
+
+BandwidthModel& BandwidthModel::Instance() {
+  static BandwidthModel model;
+  return model;
+}
+
+void BandwidthModel::Reconfigure() {
+  const NvmConfig& cfg = GlobalNvmConfig();
+  // Burst of 64 KiB keeps short bursts unthrottled while sustained traffic
+  // converges to the configured rate.
+  constexpr uint64_t kBurst = 64 * 1024;
+  for (uint32_t i = 0; i < kMaxNodes; ++i) {
+    read_[i].Configure(static_cast<uint64_t>(cfg.read_bw_mbps) * 1000 * 1000, kBurst);
+    write_[i].Configure(static_cast<uint64_t>(cfg.write_bw_mbps) * 1000 * 1000, kBurst);
+  }
+}
+
+void BandwidthModel::ConsumeRead(uint32_t node, uint64_t bytes) {
+  read_[node % kMaxNodes].Consume(bytes);
+}
+
+void BandwidthModel::ConsumeWrite(uint32_t node, uint64_t bytes) {
+  write_[node % kMaxNodes].Consume(bytes);
+}
+
+}  // namespace pactree

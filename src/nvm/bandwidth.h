@@ -1,0 +1,57 @@
+// Token-bucket bandwidth model for the emulated NVM media.
+//
+// Each NUMA node has independent read and write buckets (NVM bandwidth is
+// asymmetric, FH2). When emulation is on, media-touching operations consume
+// tokens and spin when the bucket is dry -- producing the throughput plateaus
+// the paper attributes to bandwidth saturation (FH1) and, in directory mode,
+// the remote-read meltdown of Figure 2 (remote read misses also consume WRITE
+// tokens for the directory update).
+#ifndef PACTREE_SRC_NVM_BANDWIDTH_H_
+#define PACTREE_SRC_NVM_BANDWIDTH_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace pactree {
+
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+
+  // rate in bytes/second; burst in bytes.
+  void Configure(uint64_t bytes_per_sec, uint64_t burst_bytes);
+
+  // Blocks (spins) until the bucket can absorb |bytes|. No-op if unconfigured.
+  void Consume(uint64_t bytes);
+
+ private:
+  // Virtual-time pacing: each consumer advances a shared virtual clock by the
+  // cost of its bytes and spins until real time catches up (minus the burst
+  // allowance). Lock-free and fair enough for throughput modeling.
+  std::atomic<uint64_t> virtual_ns_{0};
+  double ns_per_byte_ = 0.0;
+  uint64_t burst_ns_ = 0;
+};
+
+// Per-node read/write buckets, (re)configured from GlobalNvmConfig().
+class BandwidthModel {
+ public:
+  static constexpr uint32_t kMaxNodes = 8;
+
+  static BandwidthModel& Instance();
+
+  // Applies GlobalNvmConfig() rates. Call after changing config.
+  void Reconfigure();
+
+  void ConsumeRead(uint32_t node, uint64_t bytes);
+  void ConsumeWrite(uint32_t node, uint64_t bytes);
+
+ private:
+  BandwidthModel() = default;
+  TokenBucket read_[kMaxNodes];
+  TokenBucket write_[kMaxNodes];
+};
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_NVM_BANDWIDTH_H_

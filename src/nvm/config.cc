@@ -1,0 +1,28 @@
+#include "src/nvm/config.h"
+
+#include <sys/stat.h>
+
+#include <cstdlib>
+
+namespace pactree {
+
+NvmConfig& GlobalNvmConfig() {
+  static NvmConfig config;
+  return config;
+}
+
+std::string NvmConfig::DefaultPoolDir() {
+  const char* env = std::getenv("PAC_POOL_DIR");
+  std::string dir;
+  if (env != nullptr && *env != '\0') {
+    dir = env;
+  } else {
+    struct stat st;
+    dir = (stat("/dev/shm", &st) == 0 && S_ISDIR(st.st_mode)) ? "/dev/shm/pactree"
+                                                              : "/tmp/pactree";
+  }
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+}  // namespace pactree

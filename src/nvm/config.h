@@ -1,0 +1,65 @@
+// Global configuration of the emulated NVM device.
+//
+// Latency/bandwidth defaults follow the published Optane DCPMM characterization
+// (Yang et al., FAST'20; Izraelevitz et al.): ~300 ns random 256 B media read,
+// asymmetric read/write bandwidth (~3x), sequential faster than random, and a
+// directory-coherence mode in which remote reads generate media writes (the
+// paper's finding FH5).
+#ifndef PACTREE_SRC_NVM_CONFIG_H_
+#define PACTREE_SRC_NVM_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pactree {
+
+enum class CoherenceProtocol {
+  kSnoop,      // remote reads are served by snooping; no media directory update
+  kDirectory,  // remote reads write directory state to the 3D-XPoint media (FH5)
+};
+
+struct NvmConfig {
+  // --- emulation switches -------------------------------------------------
+  bool emulate_latency = false;    // inject media latencies on miss/flush
+  bool emulate_bandwidth = false;  // throttle media traffic with token buckets
+
+  // --- topology -----------------------------------------------------------
+  uint32_t numa_nodes = 2;  // logical NUMA domains (threads are striped across)
+  CoherenceProtocol coherence = CoherenceProtocol::kSnoop;
+
+  // --- latency knobs (ns) ---------------------------------------------------
+  uint32_t read_miss_ns = 300;   // random XPLine fetch from media
+  // Sequential XPLine fetch (CPU prefetcher + XPPrefetcher hide most of the
+  // latency; FH3: sequential is 3-5x faster than random).
+  uint32_t seq_read_ns = 70;
+  uint32_t flush_ns = 90;        // clwb reaching the ADR domain (per line)
+  uint32_t fence_ns = 30;        // sfence drain
+  double remote_multiplier = 1.8;  // cross-NUMA access penalty
+  uint32_t directory_write_ns = 120;  // directory-state write on remote read
+
+  // --- bandwidth knobs (MB/s per NUMA node) --------------------------------
+  uint32_t read_bw_mbps = 6000;
+  uint32_t write_bw_mbps = 2000;
+
+  // --- cache models ---------------------------------------------------------
+  // Per-thread direct-mapped XPLine cache standing in for the CPU cache share;
+  // hits do not touch media. Power of two.
+  size_t read_cache_lines = 4096;  // 4096 x 256 B = 1 MiB reach
+  // Per-thread XPBuffer window: flushes to a recently written XPLine combine.
+  size_t xpbuffer_entries = 16;
+
+  // --- pools ----------------------------------------------------------------
+  std::string pool_dir;     // default picked at runtime: /dev/shm or /tmp
+  size_t pool_size = 2ULL << 30;  // per-pool reserved (sparse) bytes
+
+  // Resolves the pool directory (creates it if needed).
+  static std::string DefaultPoolDir();
+};
+
+// Mutable global config. Benchmarks set fields before creating pools/threads.
+NvmConfig& GlobalNvmConfig();
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_NVM_CONFIG_H_

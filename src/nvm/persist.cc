@@ -1,0 +1,233 @@
+#include "src/nvm/persist.h"
+
+#include <vector>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+#include "src/common/clock.h"
+#include "src/common/compiler.h"
+#include "src/nvm/address_map.h"
+#include "src/nvm/bandwidth.h"
+#include "src/nvm/config.h"
+#include "src/nvm/shadow.h"
+#include "src/nvm/stats.h"
+#include "src/nvm/topology.h"
+
+namespace pactree {
+namespace {
+
+// Executes the real cache-line write-back instruction (harmless on DRAM; keeps
+// the instruction cost on the critical path like real persistent code).
+inline void CacheLineWriteBack(const void* line) {
+#if defined(__CLWB__)
+  _mm_clwb(const_cast<void*>(line));
+#elif defined(__CLFLUSHOPT__)
+  _mm_clflushopt(const_cast<void*>(line));
+#elif defined(__x86_64__)
+  _mm_clflush(line);
+#else
+  (void)line;
+#endif
+}
+
+inline void StoreFence() {
+#if defined(__x86_64__)
+  _mm_sfence();
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// Per-thread media model state.
+struct MediaModel {
+  // Direct-mapped XPLine tag cache modeling this thread's CPU-cache reach.
+  std::vector<uintptr_t> read_tags;
+  // Last XPLine fetched from media (sequential-prefetch detection, FH3).
+  uintptr_t last_miss_line = 0;
+  // FIFO window of recently written XPLines modeling the XPBuffer combining.
+  static constexpr size_t kXpBufMax = 64;
+  uintptr_t xpbuf[kXpBufMax] = {};
+  size_t xpbuf_size = 0;
+  size_t xpbuf_next = 0;
+
+  void EnsureSized() {
+    if (read_tags.empty()) {
+      size_t n = GlobalNvmConfig().read_cache_lines;
+      if (n == 0) {
+        n = 1;
+      }
+      // Round to power of two for cheap indexing.
+      size_t p = 1;
+      while (p < n) {
+        p <<= 1;
+      }
+      read_tags.assign(p, 0);
+      xpbuf_size = GlobalNvmConfig().xpbuffer_entries;
+      if (xpbuf_size > kXpBufMax) {
+        xpbuf_size = kXpBufMax;
+      }
+      if (xpbuf_size == 0) {
+        xpbuf_size = 1;
+      }
+    }
+  }
+
+  bool ReadCacheLookupInsert(uintptr_t xpline) {
+    size_t idx = (xpline >> 8) & (read_tags.size() - 1);
+    if (read_tags[idx] == xpline) {
+      return true;
+    }
+    read_tags[idx] = xpline;
+    return false;
+  }
+
+  bool XpBufferLookupInsert(uintptr_t xpline) {
+    for (size_t i = 0; i < xpbuf_size; ++i) {
+      if (xpbuf[i] == xpline) {
+        return true;
+      }
+    }
+    xpbuf[xpbuf_next] = xpline;
+    xpbuf_next = (xpbuf_next + 1) % xpbuf_size;
+    return false;
+  }
+};
+
+thread_local MediaModel t_media;
+
+}  // namespace
+
+void PersistRange(const void* p, size_t n) {
+  if (n == 0) {
+    return;
+  }
+  const NvmRange* range = LookupNvmRange(p);
+  if (range == nullptr) {
+    return;  // DRAM-resident object: no persistence needed or modeled
+  }
+  if (ShadowHeap::IsActive()) {
+    ShadowHeap::OnPersist(p, n);
+  }
+
+  const NvmConfig& cfg = GlobalNvmConfig();
+  NvmThreadCounters& c = LocalNvmCounters();
+  MediaModel& m = t_media;
+  m.EnsureSized();
+
+  uintptr_t start = CacheLineOf(p);
+  uintptr_t end = reinterpret_cast<uintptr_t>(p) + n;
+  bool remote = range->node != CurrentNumaNode();
+  double lat_mult = remote ? cfg.remote_multiplier : 1.0;
+
+  uintptr_t prev_xp = ~uintptr_t{0};
+  for (uintptr_t line = start; line < end; line += kCacheLineSize) {
+    CacheLineWriteBack(reinterpret_cast<const void*>(line));
+    c.flushes++;
+    if (remote) {
+      c.remote_writes++;
+    }
+    uintptr_t xp = XpLineOf(line);
+    if (xp == prev_xp) {
+      continue;  // same XPLine as the previous flushed line: combined
+    }
+    prev_xp = xp;
+    if (m.XpBufferLookupInsert(xp)) {
+      continue;  // write-combined in the XPBuffer window
+    }
+    // XPLine write-back: the controller performs a read-modify-write of the
+    // whole 256 B line, so a 64 B flush costs a full XPLine of media writes.
+    c.media_write_bytes += kXpLineSize;
+    if (cfg.emulate_latency) {
+      SpinNs(static_cast<uint64_t>(cfg.flush_ns * lat_mult));
+    }
+    if (cfg.emulate_bandwidth) {
+      BandwidthModel::Instance().ConsumeWrite(range->node, kXpLineSize);
+    }
+  }
+}
+
+void Fence() {
+  StoreFence();
+  if (ShadowHeap::IsActive()) {
+    ShadowHeap::OnFence();
+  }
+  NvmThreadCounters& c = LocalNvmCounters();
+  c.fences++;
+  const NvmConfig& cfg = GlobalNvmConfig();
+  if (cfg.emulate_latency && cfg.fence_ns > 0) {
+    SpinNs(cfg.fence_ns);
+  }
+}
+
+void CountFenceOnly() { LocalNvmCounters().fences++; }
+
+void AnnotateNvmRead(const void* p, size_t n) {
+  if (n == 0) {
+    return;
+  }
+  const NvmRange* range = LookupNvmRange(p);
+  if (range == nullptr) {
+    return;
+  }
+  const NvmConfig& cfg = GlobalNvmConfig();
+  NvmThreadCounters& c = LocalNvmCounters();
+  MediaModel& m = t_media;
+  m.EnsureSized();
+
+  bool remote = range->node != CurrentNumaNode();
+  bool directory = cfg.coherence == CoherenceProtocol::kDirectory;
+  double lat_mult = remote ? cfg.remote_multiplier : 1.0;
+
+  uintptr_t start = XpLineOf(reinterpret_cast<uintptr_t>(p));
+  uintptr_t end = reinterpret_cast<uintptr_t>(p) + n;
+  for (uintptr_t xp = start; xp < end; xp += kXpLineSize) {
+    if (m.ReadCacheLookupInsert(xp)) {
+      c.read_hits++;
+      continue;
+    }
+    c.read_misses++;
+    c.media_read_bytes += kXpLineSize;
+    bool sequential = xp == m.last_miss_line + kXpLineSize;
+    m.last_miss_line = xp;
+    if (remote) {
+      c.remote_reads++;
+      if (directory) {
+        // FH5: the directory coherence state lives on the 3D-XPoint media, so
+        // a remote read miss issues a media *write* to record the new sharer.
+        c.directory_writes++;
+        c.media_write_bytes += kCacheLineSize;
+      }
+    }
+    if (cfg.emulate_latency) {
+      // Sequential fetches ride the prefetchers (FH3 / GA5).
+      uint64_t base = sequential ? cfg.seq_read_ns : cfg.read_miss_ns;
+      uint64_t ns = static_cast<uint64_t>(base * lat_mult);
+      if (remote && directory) {
+        ns += cfg.directory_write_ns;
+      }
+      SpinNs(ns);
+    }
+    if (cfg.emulate_bandwidth) {
+      BandwidthModel::Instance().ConsumeRead(range->node, kXpLineSize);
+      if (remote && directory) {
+        // The directory update competes for the scarce write bandwidth: this
+        // coupling is what melts remote read bandwidth down (Figure 2).
+        BandwidthModel::Instance().ConsumeWrite(range->node, kCacheLineSize);
+      }
+    }
+  }
+}
+
+void DropThreadReadCache() {
+  t_media.read_tags.clear();
+  t_media.last_miss_line = 0;
+  t_media.xpbuf_size = 0;
+  t_media.xpbuf_next = 0;
+  for (auto& e : t_media.xpbuf) {
+    e = 0;
+  }
+}
+
+}  // namespace pactree

@@ -1,0 +1,58 @@
+// Persistence primitives for the emulated NVM device (ADR mode).
+//
+// Code that wants to be crash consistent uses exactly the instruction sequence it
+// would use on real Optane hardware: PersistRange (clwb per cache line) followed by
+// Fence (sfence). On top of executing the real instructions (harmless on DRAM),
+// these wrappers:
+//   * account media traffic at XPLine (256 B) granularity, with an XPBuffer
+//     write-combining window (sequential flushes to one XPLine coalesce);
+//   * inject media latency / consume bandwidth tokens when emulation is enabled;
+//   * feed the ShadowHeap crash simulator, which treats only persisted bytes as
+//     durable.
+//
+// Reads are annotated explicitly: an index calls AnnotateNvmRead(node, size)
+// when it dereferences a node on NVM. A per-thread direct-mapped XPLine cache
+// models the CPU cache; only misses reach the media (and, for remote reads under
+// the directory protocol, also generate a media directory write -- finding FH5).
+#ifndef PACTREE_SRC_NVM_PERSIST_H_
+#define PACTREE_SRC_NVM_PERSIST_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace pactree {
+
+// Flushes every cache line of [p, p+n) toward the persistence domain.
+void PersistRange(const void* p, size_t n);
+
+// Store fence; orders prior flushes.
+void Fence();
+
+// PersistRange + Fence.
+inline void PersistFence(const void* p, size_t n) {
+  PersistRange(p, n);
+  Fence();
+}
+
+// 8-byte atomic store that is immediately persisted and fenced; the canonical
+// "linearization point" store (e.g., the data-node bitmap, §5.5).
+inline void AtomicStorePersist(std::atomic<uint64_t>* word, uint64_t value,
+                               std::memory_order order = std::memory_order_release) {
+  word->store(value, order);
+  PersistFence(word, sizeof(*word));
+}
+
+// Declares that the caller read [p, p+n) from NVM (media model + stats).
+void AnnotateNvmRead(const void* p, size_t n);
+
+// Bumps the fence counter only (used by code paths that batch flushes).
+void CountFenceOnly();
+
+// Resets the calling thread's modeled CPU read-cache (tests use this to force
+// cold-cache measurements).
+void DropThreadReadCache();
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_NVM_PERSIST_H_

@@ -1,0 +1,85 @@
+#include "src/nvm/pool_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <utility>
+
+#include "src/nvm/address_map.h"
+
+namespace pactree {
+
+NvmPoolFile& NvmPoolFile::operator=(NvmPoolFile&& o) noexcept {
+  if (this != &o) {
+    Close();
+    base_ = std::exchange(o.base_, nullptr);
+    size_ = std::exchange(o.size_, 0);
+    node_ = std::exchange(o.node_, 0);
+    path_ = std::move(o.path_);
+    o.path_.clear();
+  }
+  return *this;
+}
+
+bool NvmPoolFile::Create(const std::string& path, size_t size, uint32_t node,
+                         uint16_t pool_id) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  return MapFd(fd, size, node, pool_id, path);
+}
+
+bool NvmPoolFile::Open(const std::string& path, uint32_t node, uint16_t pool_id) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return false;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size == 0) {
+    ::close(fd);
+    return false;
+  }
+  return MapFd(fd, static_cast<size_t>(st.st_size), node, pool_id, path);
+}
+
+bool NvmPoolFile::MapFd(int fd, size_t size, uint32_t node, uint16_t pool_id,
+                        const std::string& path) {
+  void* base = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    return false;
+  }
+  Close();
+  base_ = base;
+  size_ = size;
+  node_ = node;
+  path_ = path;
+  RegisterNvmRange(base_, size_, node_, pool_id);
+  return true;
+}
+
+void NvmPoolFile::Close() {
+  if (base_ != nullptr) {
+    UnregisterNvmRange(base_);
+    ::munmap(base_, size_);
+    base_ = nullptr;
+    size_ = 0;
+  }
+}
+
+bool NvmPoolFile::Exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void NvmPoolFile::Remove(const std::string& path) { ::unlink(path.c_str()); }
+
+}  // namespace pactree

@@ -1,0 +1,53 @@
+// File-backed mapping that stands in for a /dev/pmemN DAX mapping.
+//
+// Pools are sparse files under NvmConfig::pool_dir mapped MAP_SHARED, so a
+// SIGKILL'ed process leaves its page-cache contents behind exactly like a DAX
+// mapping would leave NVM contents -- which is what the paper's §6.8 recovery
+// methodology relies on.
+#ifndef PACTREE_SRC_NVM_POOL_FILE_H_
+#define PACTREE_SRC_NVM_POOL_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pactree {
+
+class NvmPoolFile {
+ public:
+  NvmPoolFile() = default;
+  ~NvmPoolFile() { Close(); }
+
+  NvmPoolFile(const NvmPoolFile&) = delete;
+  NvmPoolFile& operator=(const NvmPoolFile&) = delete;
+  NvmPoolFile(NvmPoolFile&& o) noexcept { *this = std::move(o); }
+  NvmPoolFile& operator=(NvmPoolFile&& o) noexcept;
+
+  // Creates (truncating any existing file) or opens an existing pool file and
+  // maps it. |node| is the owning logical NUMA node. Returns false on failure.
+  bool Create(const std::string& path, size_t size, uint32_t node, uint16_t pool_id);
+  bool Open(const std::string& path, uint32_t node, uint16_t pool_id);
+
+  void Close();
+
+  static bool Exists(const std::string& path);
+  static void Remove(const std::string& path);
+
+  void* base() const { return base_; }
+  size_t size() const { return size_; }
+  uint32_t node() const { return node_; }
+  const std::string& path() const { return path_; }
+  bool valid() const { return base_ != nullptr; }
+
+ private:
+  bool MapFd(int fd, size_t size, uint32_t node, uint16_t pool_id, const std::string& path);
+
+  void* base_ = nullptr;
+  size_t size_ = 0;
+  uint32_t node_ = 0;
+  std::string path_;
+};
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_NVM_POOL_FILE_H_

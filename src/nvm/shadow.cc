@@ -1,0 +1,138 @@
+#include "src/nvm/shadow.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "src/common/compiler.h"
+#include "src/common/random.h"
+
+namespace pactree {
+namespace {
+
+struct StagedLine {
+  uintptr_t addr;
+  uint8_t bytes[kCacheLineSize];
+};
+
+struct ShadowRegion {
+  uint8_t* live = nullptr;
+  size_t size = 0;
+  std::vector<uint8_t> image;
+};
+
+struct ShadowState {
+  // Few regions (one per pool); scanned linearly.
+  std::vector<ShadowRegion> regions;
+  std::mutex image_mu;
+
+  ShadowRegion* Find(uintptr_t addr) {
+    for (ShadowRegion& r : regions) {
+      uintptr_t base = reinterpret_cast<uintptr_t>(r.live);
+      if (addr >= base && addr < base + r.size) {
+        return &r;
+      }
+    }
+    return nullptr;
+  }
+};
+
+ShadowState* g_state = nullptr;
+std::atomic<bool> g_active{false};
+
+// Lines staged by clwb but not yet fenced by this thread.
+thread_local std::vector<StagedLine> t_staged;
+
+}  // namespace
+
+void ShadowHeap::Enable(void* base, size_t size) {
+  if (g_state == nullptr) {
+    g_state = new ShadowState();
+  }
+  ShadowRegion r;
+  r.live = static_cast<uint8_t*>(base);
+  r.size = size;
+  r.image.assign(r.live, r.live + size);
+  g_state->regions.push_back(std::move(r));
+  g_active.store(true, std::memory_order_release);
+}
+
+void ShadowHeap::Disable() {
+  if (g_state != nullptr) {
+    g_active.store(false, std::memory_order_release);
+    delete g_state;
+    g_state = nullptr;
+  }
+  t_staged.clear();
+}
+
+bool ShadowHeap::IsActive() { return g_active.load(std::memory_order_acquire); }
+
+void ShadowHeap::OnPersist(const void* p, size_t n) {
+  ShadowState* s = g_state;
+  if (s == nullptr) {
+    return;
+  }
+  uintptr_t start = CacheLineOf(p);
+  uintptr_t end = reinterpret_cast<uintptr_t>(p) + n;
+  for (uintptr_t line = start; line < end; line += kCacheLineSize) {
+    if (s->Find(line) == nullptr) {
+      continue;
+    }
+    // Stage the *current* contents: that is what clwb writes back. Later
+    // stores to the same line are not durable unless flushed again.
+    StagedLine staged;
+    staged.addr = line;
+    std::memcpy(staged.bytes, reinterpret_cast<const void*>(line), kCacheLineSize);
+    t_staged.push_back(staged);
+  }
+}
+
+void ShadowHeap::OnFence() {
+  ShadowState* s = g_state;
+  if (s == nullptr || t_staged.empty()) {
+    t_staged.clear();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(s->image_mu);
+  for (const StagedLine& staged : t_staged) {
+    ShadowRegion* r = s->Find(staged.addr);
+    if (r != nullptr) {
+      std::memcpy(r->image.data() + (staged.addr - reinterpret_cast<uintptr_t>(r->live)),
+                  staged.bytes, kCacheLineSize);
+    }
+  }
+  t_staged.clear();
+}
+
+std::vector<uint8_t> ShadowHeap::Capture(CrashMode mode, uint64_t seed,
+                                         double evict_probability) {
+  return CaptureRegion(nullptr, mode, seed, evict_probability);
+}
+
+std::vector<uint8_t> ShadowHeap::CaptureRegion(void* base, CrashMode mode, uint64_t seed,
+                                               double evict_probability) {
+  ShadowState* s = g_state;
+  if (s == nullptr || s->regions.empty()) {
+    return {};
+  }
+  ShadowRegion* r = base == nullptr ? &s->regions[0]
+                                    : s->Find(reinterpret_cast<uintptr_t>(base));
+  if (r == nullptr) {
+    return {};
+  }
+  std::lock_guard<std::mutex> lock(s->image_mu);
+  std::vector<uint8_t> out = r->image;
+  if (mode == CrashMode::kChaos) {
+    // Random cache evictions made some unflushed lines durable.
+    Rng rng(seed);
+    for (size_t off = 0; off < r->size; off += kCacheLineSize) {
+      if (rng.NextDouble() < evict_probability) {
+        std::memcpy(out.data() + off, r->live + off, kCacheLineSize);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pactree

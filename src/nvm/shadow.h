@@ -1,0 +1,54 @@
+// ShadowHeap: an adversarial ADR crash simulator.
+//
+// While enabled over a pool's mapping, every PersistRange stages the flushed
+// cache lines' *current contents* and the following Fence commits them to a
+// shadow image. A simulated crash captures the shadow image: any store that was
+// not explicitly persisted before the crash is absent -- the strictest reading
+// of ADR semantics (volatile caches, nothing survives except what reached the
+// WPQ). An optional chaos mode additionally "evicts" random unflushed lines
+// into the image, modeling cache evictions that make un-flushed stores durable;
+// recovery must tolerate both directions.
+//
+// Tests rebuild a pool from the captured bytes and run recovery on it; the
+// compact persistent-pointer representation (§5.8) makes the image position
+// independent.
+#ifndef PACTREE_SRC_NVM_SHADOW_H_
+#define PACTREE_SRC_NVM_SHADOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pactree {
+
+enum class CrashMode {
+  kStrict,  // only persisted bytes survive
+  kChaos,   // plus random unflushed lines "evicted" into the image
+};
+
+class ShadowHeap {
+ public:
+  // Starts shadowing [base, base+size). The shadow image is initialized from
+  // the current live contents (i.e., the state at enable time is durable).
+  // May be called repeatedly to shadow several regions (e.g., each pool of an
+  // index). Test-only facility.
+  static void Enable(void* base, size_t size);
+  static void Disable();
+  static bool IsActive();
+
+  // Snapshot of the durable image of the first region as of now.
+  static std::vector<uint8_t> Capture(CrashMode mode, uint64_t seed = 0,
+                                      double evict_probability = 0.05);
+  // Snapshot of the region registered at |base| (first region when null).
+  static std::vector<uint8_t> CaptureRegion(void* base, CrashMode mode,
+                                            uint64_t seed = 0,
+                                            double evict_probability = 0.05);
+
+  // Hooks called from the persistence primitives (no-ops when inactive).
+  static void OnPersist(const void* p, size_t n);
+  static void OnFence();
+};
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_NVM_SHADOW_H_

@@ -1,0 +1,51 @@
+#include "src/nvm/stats.h"
+
+#include <mutex>
+#include <vector>
+
+namespace pactree {
+namespace {
+
+// Registry of every thread's counters. Counter blocks are leaked on purpose:
+// they must outlive their thread so that GlobalNvmStats() stays safe to call
+// after worker threads join.
+std::mutex g_registry_mu;
+std::vector<NvmThreadCounters*>& Registry() {
+  static std::vector<NvmThreadCounters*> registry;
+  return registry;
+}
+
+NvmThreadCounters* NewRegisteredCounters() {
+  auto* counters = new NvmThreadCounters();
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  Registry().push_back(counters);
+  return counters;
+}
+
+}  // namespace
+
+NvmThreadCounters& LocalNvmCounters() {
+  thread_local NvmThreadCounters* counters = NewRegisteredCounters();
+  return *counters;
+}
+
+NvmStatsSnapshot GlobalNvmStats() {
+  NvmStatsSnapshot s;
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  for (const NvmThreadCounters* c : Registry()) {
+    s.media_read_bytes += c->media_read_bytes;
+    s.media_write_bytes += c->media_write_bytes;
+    s.flushes += c->flushes;
+    s.fences += c->fences;
+    s.read_hits += c->read_hits;
+    s.read_misses += c->read_misses;
+    s.remote_reads += c->remote_reads;
+    s.remote_writes += c->remote_writes;
+    s.directory_writes += c->directory_writes;
+    s.alloc_ops += c->alloc_ops;
+    s.free_ops += c->free_ops;
+  }
+  return s;
+}
+
+}  // namespace pactree

@@ -1,0 +1,68 @@
+// Media-level traffic accounting for the emulated NVM device.
+//
+// These counters are what the paper's PMWatch measurements report: bytes actually
+// moved at the 3D-XPoint media (256 B XPLine granularity), flush/fence counts, and
+// cross-NUMA traffic including directory-coherence writes. Figures 4 and 5 plot
+// exactly these quantities.
+#ifndef PACTREE_SRC_NVM_STATS_H_
+#define PACTREE_SRC_NVM_STATS_H_
+
+#include <cstdint>
+
+namespace pactree {
+
+struct NvmStatsSnapshot {
+  uint64_t media_read_bytes = 0;    // XPLine fetches from media
+  uint64_t media_write_bytes = 0;   // XPLine write-backs to media
+  uint64_t flushes = 0;             // clwb-equivalent operations
+  uint64_t fences = 0;              // sfence-equivalent operations
+  uint64_t read_hits = 0;           // satisfied by the modeled CPU cache
+  uint64_t read_misses = 0;
+  uint64_t remote_reads = 0;        // cross-NUMA XPLine fetches
+  uint64_t remote_writes = 0;
+  uint64_t directory_writes = 0;    // FH5: media writes caused by remote reads
+  uint64_t alloc_ops = 0;           // persistent allocations (filled by pmem)
+  uint64_t free_ops = 0;
+
+  NvmStatsSnapshot operator-(const NvmStatsSnapshot& o) const {
+    NvmStatsSnapshot d;
+    d.media_read_bytes = media_read_bytes - o.media_read_bytes;
+    d.media_write_bytes = media_write_bytes - o.media_write_bytes;
+    d.flushes = flushes - o.flushes;
+    d.fences = fences - o.fences;
+    d.read_hits = read_hits - o.read_hits;
+    d.read_misses = read_misses - o.read_misses;
+    d.remote_reads = remote_reads - o.remote_reads;
+    d.remote_writes = remote_writes - o.remote_writes;
+    d.directory_writes = directory_writes - o.directory_writes;
+    d.alloc_ops = alloc_ops - o.alloc_ops;
+    d.free_ops = free_ops - o.free_ops;
+    return d;
+  }
+};
+
+// Aggregates the counters of every thread that ever touched the NVM layer.
+NvmStatsSnapshot GlobalNvmStats();
+
+// Per-thread raw counters (exposed so hot paths can increment without locks).
+struct NvmThreadCounters {
+  uint64_t media_read_bytes = 0;
+  uint64_t media_write_bytes = 0;
+  uint64_t flushes = 0;
+  uint64_t fences = 0;
+  uint64_t read_hits = 0;
+  uint64_t read_misses = 0;
+  uint64_t remote_reads = 0;
+  uint64_t remote_writes = 0;
+  uint64_t directory_writes = 0;
+  uint64_t alloc_ops = 0;
+  uint64_t free_ops = 0;
+};
+
+// Counters of the calling thread (registered globally on first use; the object
+// outlives the thread so aggregation stays safe).
+NvmThreadCounters& LocalNvmCounters();
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_NVM_STATS_H_

@@ -1,0 +1,39 @@
+#include "src/nvm/topology.h"
+
+#include <atomic>
+
+#include "src/nvm/config.h"
+
+namespace pactree {
+namespace {
+
+std::atomic<uint32_t> g_next_thread{0};
+
+struct ThreadNode {
+  uint32_t node = 0;
+  bool assigned = false;
+};
+
+thread_local ThreadNode t_node;
+
+}  // namespace
+
+uint32_t CurrentNumaNode() {
+  if (!t_node.assigned) {
+    uint32_t nodes = GlobalNvmConfig().numa_nodes;
+    if (nodes == 0) {
+      nodes = 1;
+    }
+    t_node.node = g_next_thread.fetch_add(1, std::memory_order_relaxed) % nodes;
+    t_node.assigned = true;
+  }
+  return t_node.node;
+}
+
+void SetCurrentNumaNode(uint32_t node) {
+  uint32_t nodes = GlobalNvmConfig().numa_nodes;
+  t_node.node = nodes == 0 ? 0 : node % nodes;
+  t_node.assigned = true;
+}
+
+}  // namespace pactree

@@ -1,0 +1,24 @@
+// Logical NUMA topology for the emulated NVM system.
+//
+// Real PACTree pins threads and allocates from the NUMA-local pool (GS2). In this
+// reproduction NUMA domains are logical: each thread is striped onto a node at first
+// use (or pinned explicitly by the benchmark driver), and pools belong to a node.
+// The media model charges remote-access penalties when a thread touches a pool of
+// a different node.
+#ifndef PACTREE_SRC_NVM_TOPOLOGY_H_
+#define PACTREE_SRC_NVM_TOPOLOGY_H_
+
+#include <cstdint>
+
+namespace pactree {
+
+// Node of the calling thread (assigned round-robin on first call).
+uint32_t CurrentNumaNode();
+
+// Pins the calling thread to a logical node (benchmark drivers use this to
+// emulate a NUMA-aware thread placement).
+void SetCurrentNumaNode(uint32_t node);
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_NVM_TOPOLOGY_H_

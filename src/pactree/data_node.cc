@@ -1,0 +1,111 @@
+#include "src/pactree/data_node.h"
+
+#include <algorithm>
+#include <atomic>
+
+#if defined(PACTREE_AVX2)
+#include <immintrin.h>
+#endif
+
+#include "src/nvm/persist.h"
+
+namespace pactree {
+
+uint64_t DataNode::Bitmap() const {
+  return std::atomic_ref<uint64_t>(const_cast<DataNode*>(this)->bitmap)
+      .load(std::memory_order_acquire);
+}
+
+int DataNode::CountLive() const { return __builtin_popcountll(Bitmap()); }
+
+int DataNode::FindKey(const Key& key, uint8_t fingerprint) const {
+  uint64_t live = Bitmap();
+  uint64_t candidates;
+#if defined(PACTREE_AVX2)
+  // 64-byte fingerprint match in two 32-byte compares (the paper uses one
+  // AVX-512 compare; two AVX2 compares are the portable equivalent).
+  __m256i needle = _mm256_set1_epi8(static_cast<char>(fingerprint));
+  __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(fp));
+  __m256i hi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(fp + 32));
+  uint32_t mlo = static_cast<uint32_t>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(lo, needle)));
+  uint32_t mhi = static_cast<uint32_t>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(hi, needle)));
+  candidates = (static_cast<uint64_t>(mhi) << 32 | mlo) & live;
+#else
+  candidates = 0;
+  for (size_t i = 0; i < kDataNodeEntries; ++i) {
+    if (fp[i] == fingerprint) {
+      candidates |= 1ULL << i;
+    }
+  }
+  candidates &= live;
+#endif
+  while (candidates != 0) {
+    int i = __builtin_ctzll(candidates);
+    AnnotateNvmRead(&keys[i], sizeof(Key));
+    if (keys[i] == key) {
+      return i;
+    }
+    candidates &= candidates - 1;
+  }
+  return -1;
+}
+
+int DataNode::FindFreeSlot() const {
+  uint64_t live = Bitmap();
+  if (live == ~0ULL) {
+    return -1;
+  }
+  return __builtin_ctzll(~live);
+}
+
+void DataNode::FillSlot(int slot, const Key& key, uint8_t fingerprint, uint64_t value) {
+  keys[slot] = key;
+  values[slot] = value;
+  fp[slot] = fingerprint;
+  PersistRange(&keys[slot], sizeof(Key));
+  PersistRange(&values[slot], sizeof(uint64_t));
+  PersistRange(&fp[slot], 1);
+  Fence();
+}
+
+void DataNode::PublishBitmap(uint64_t new_bitmap) {
+  AtomicStorePersist(reinterpret_cast<std::atomic<uint64_t>*>(&bitmap), new_bitmap);
+}
+
+int DataNode::ComputeSortedOrder(uint8_t* out) const {
+  uint64_t live = Bitmap();
+  int n = 0;
+  while (live != 0) {
+    out[n++] = static_cast<uint8_t>(__builtin_ctzll(live));
+    live &= live - 1;
+  }
+  std::sort(out, out + n, [this](uint8_t a, uint8_t b) { return keys[a] < keys[b]; });
+  return n;
+}
+
+uint64_t DataNode::NextRaw() const {
+  return std::atomic_ref<uint64_t>(const_cast<DataNode*>(this)->next_raw)
+      .load(std::memory_order_acquire);
+}
+
+uint64_t DataNode::PrevRaw() const {
+  return std::atomic_ref<uint64_t>(const_cast<DataNode*>(this)->prev_raw)
+      .load(std::memory_order_acquire);
+}
+
+void DataNode::StoreNextPersist(uint64_t raw) {
+  std::atomic_ref<uint64_t>(next_raw).store(raw, std::memory_order_release);
+  PersistFence(&next_raw, sizeof(uint64_t));
+}
+
+void DataNode::StorePrevPersist(uint64_t raw) {
+  std::atomic_ref<uint64_t>(prev_raw).store(raw, std::memory_order_release);
+  PersistFence(&prev_raw, sizeof(uint64_t));
+}
+
+bool DataNode::IsDeleted() const {
+  return std::atomic_ref<uint32_t>(const_cast<DataNode*>(this)->deleted)
+             .load(std::memory_order_acquire) != 0;
+}
+
+}  // namespace pactree

@@ -1,0 +1,83 @@
+// PACTree data node (paper Figure 8): a B+-tree-style slotted leaf.
+//
+// 64 unsorted key-value slots; an 8-byte valid bitmap whose atomic persisted
+// update is the linearization AND durability point for every common-case write
+// (§5.5); a cache-line-aligned fingerprint array matched with SIMD; a
+// permutation array that is deliberately NOT persisted (selective persistence,
+// §4.4) and is regenerated on demand, version-checked; anchor key fixed at
+// creation; doubly-linked siblings.
+//
+// Layout is exactly 3072 bytes = 12 XPLines with the fingerprint array on its
+// own cache line, chosen for the reasons the paper gives in §5.2.
+#ifndef PACTREE_SRC_PACTREE_DATA_NODE_H_
+#define PACTREE_SRC_PACTREE_DATA_NODE_H_
+
+#include <cstdint>
+
+#include "src/common/key.h"
+#include "src/pmem/pptr.h"
+#include "src/sync/version_lock.h"
+
+namespace pactree {
+
+inline constexpr size_t kDataNodeEntries = 64;
+
+struct DataNode {
+  // --- cache line 0: mutable metadata (persisted, except perm_version) ---
+  OptVersionLock lock;     // 0
+  uint64_t bitmap;         // 8   valid-slot bitmap: the durability pivot
+  uint64_t next_raw;       // 16  PPtr of right sibling (0 = tail)
+  uint64_t prev_raw;       // 24  PPtr of left sibling (0 = head)
+  uint32_t deleted;        // 32  logical-delete mark set by merge
+  uint32_t pad0;           // 36
+  uint64_t perm_version;   // 40  volatile: version the perm array matches
+  uint8_t pad1[16];        // 48
+  // --- cache line 1: anchor key (immutable after creation, persisted) ---
+  Key anchor;              // 64
+  uint8_t pad2[28];        // 100
+  // --- cache line 2: fingerprints (persisted) ---
+  uint8_t fp[kDataNodeEntries];    // 128
+  // --- cache line 3: permutation array (NOT persisted) ---
+  uint8_t perm[kDataNodeEntries];  // 192
+  // --- slots ---
+  Key keys[kDataNodeEntries];      // 256
+  uint64_t values[kDataNodeEntries];  // 2560
+
+  // ---- helpers (all assume the caller handles concurrency) ----
+
+  uint64_t Bitmap() const;
+  int CountLive() const;
+
+  // Slot of |key| (fingerprint-filtered full compare) or -1.
+  int FindKey(const Key& key, uint8_t fingerprint) const;
+
+  // First free slot or -1.
+  int FindFreeSlot() const;
+
+  // Writes slot contents + fingerprint and persists them (bitmap untouched:
+  // callers flip the bit afterwards as the linearization point).
+  void FillSlot(int slot, const Key& key, uint8_t fingerprint, uint64_t value);
+
+  // Atomically stores+persists a new bitmap value (linearization point).
+  void PublishBitmap(uint64_t new_bitmap);
+
+  // Computes the sorted order of live slots into |out| (up to 64 entries);
+  // returns the count. Pure function of the current slot contents.
+  int ComputeSortedOrder(uint8_t* out) const;
+
+  DataNode* Next() const { return PPtr<DataNode>(NextRaw()).get(); }
+  DataNode* Prev() const { return PPtr<DataNode>(PrevRaw()).get(); }
+  uint64_t NextRaw() const;
+  uint64_t PrevRaw() const;
+  void StoreNextPersist(uint64_t raw);
+  void StorePrevPersist(uint64_t raw);
+  bool IsDeleted() const;
+};
+
+static_assert(sizeof(DataNode) == 3072, "data node must be exactly 12 XPLines");
+static_assert(offsetof(DataNode, fp) == 128, "fingerprints on their own line");
+static_assert(offsetof(DataNode, keys) == 256, "keys XPLine-aligned");
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_PACTREE_DATA_NODE_H_

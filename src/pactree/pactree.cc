@@ -1,0 +1,1003 @@
+#include "src/pactree/pactree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/common/compiler.h"
+#include "src/nvm/config.h"
+#include "src/nvm/persist.h"
+#include "src/pmem/registry.h"
+#include "src/sync/epoch.h"
+#include "src/sync/gen_sync.h"
+#include "src/sync/generation.h"
+
+namespace pactree {
+
+namespace {
+constexpr uint64_t kPacMagic = 0x3145455254434150ULL;  // "PACTREE1"
+constexpr int kMergeThreshold = 24;  // merge when combined live keys fit easily
+constexpr uint64_t kPermBuilding = 1ULL << 63;
+}  // namespace
+
+// Persistent root object, placed in the data heap's primary root area.
+struct PacTree::PacRoot {
+  // NOLINT: must fit the pool root area (checked below).
+  uint64_t magic;
+  uint64_t head_raw;
+  uint64_t pad[6];
+  uint64_t log_raws[kMaxWriterSlots];
+  ArtTreeRoot art;
+};
+
+// ---------------------------------------------------------------------------
+// Open / create / recover
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<PacTree> PacTree::Open(const PacTreeOptions& opts) {
+  auto tree = std::unique_ptr<PacTree>(new PacTree());
+  if (!tree->Init(opts)) {
+    return nullptr;
+  }
+  return tree;
+}
+
+void PacTree::Destroy(const std::string& name) {
+  PmemHeap::Destroy(name + ".search");
+  PmemHeap::Destroy(name + ".data");
+  PmemHeap::Destroy(name + ".log");
+}
+
+bool PacTree::Init(const PacTreeOptions& opts) {
+  static_assert(sizeof(PacRoot) <= kRootAreaSize, "root area too small");
+  opts_ = opts;
+  PmemHeapOptions h;
+  h.pool_size = opts.pool_size;
+  h.single_pool = !opts.per_numa_pools;
+
+  h.pool_id_base = opts.pool_id_base;
+  h.dram = opts.dram_search_layer;
+  search_heap_ = PmemHeap::OpenOrCreate(opts.name + ".search", h);
+  h.pool_id_base = static_cast<uint16_t>(opts.pool_id_base + 8);
+  h.dram = false;
+  bool created = false;
+  data_heap_ = PmemHeap::OpenOrCreate(opts.name + ".data", h, &created);
+  h.pool_id_base = static_cast<uint16_t>(opts.pool_id_base + 16);
+  h.pool_size = std::max<size_t>(opts.pool_size / 8, 16ULL << 20);
+  log_heap_ = PmemHeap::OpenOrCreate(opts.name + ".log", h);
+  if (search_heap_ == nullptr || data_heap_ == nullptr || log_heap_ == nullptr) {
+    return false;
+  }
+
+  // Void every lock word persisted by the previous incarnation (including
+  // locks captured held by a crash): advance all pools past the global
+  // generation and publish it.
+  AdvanceGenerations({search_heap_.get(), data_heap_.get(), log_heap_.get()});
+
+  root_ = data_heap_->Root<PacRoot>();
+
+  if (root_->magic != kPacMagic || created) {
+    // ---- fresh index ----
+    std::memset(static_cast<void*>(root_), 0, sizeof(PacRoot));
+    PersistFence(root_, sizeof(PacRoot));
+    PPtr<void> head = data_heap_->Alloc(sizeof(DataNode));
+    if (head.IsNull()) {
+      return false;
+    }
+    auto* head_node = static_cast<DataNode*>(head.get());
+    head_node->anchor = Key::Min();
+    head_node->perm_version = kPermBuilding;  // never matches a lock version
+    PersistFence(head_node, sizeof(DataNode));
+    root_->head_raw = head.raw;
+    PersistFence(&root_->head_raw, sizeof(uint64_t));
+    for (size_t i = 0; i < kMaxWriterSlots; ++i) {
+      PPtr<void> log = log_heap_->AllocTo(ToPPtr(&root_->log_raws[i]), sizeof(SmoLog));
+      if (log.IsNull()) {
+        return false;
+      }
+      PersistFence(log.get(), 128);  // zeroed head/tail
+    }
+    art_ = std::make_unique<PdlArt>(search_heap_.get(), &root_->art);
+    art_->Insert(Key::Min(), root_->head_raw);
+    root_->magic = kPacMagic;
+    PersistFence(&root_->magic, sizeof(uint64_t));
+  } else {
+    // ---- existing index ----
+    if (opts.dram_search_layer) {
+      // The volatile search layer died with the previous process: rebuild it
+      // from the data layer (this is exactly the restart cost the paper's
+      // DRAM-internal-node designs pay; Figure 12 "DRAM SL").
+      std::memset(static_cast<void*>(&root_->art), 0, sizeof(ArtTreeRoot));
+    }
+    art_ = std::make_unique<PdlArt>(search_heap_.get(), &root_->art);
+  }
+
+  for (size_t i = 0; i < kMaxWriterSlots; ++i) {
+    logs_[i] = PPtr<SmoLog>(root_->log_raws[i]).get();
+  }
+
+  Recover();
+
+  if (opts_.async_search_update) {
+    stop_updater_.store(false, std::memory_order_release);
+    updater_ = std::thread([this] { UpdaterLoop(); });
+  }
+  return true;
+}
+
+PacTree::~PacTree() {
+  if (updater_.joinable()) {
+    DrainSmoLogs();
+    stop_updater_.store(true, std::memory_order_release);
+    updater_.join();
+  } else {
+    DrainSmoLogs();
+  }
+  for (int i = 0; i < 8; ++i) {
+    EpochManager::Instance().TryAdvanceAndReclaim();
+  }
+}
+
+void PacTree::Recover() {
+  // Gather every pending SMO entry across the per-writer logs.
+  // Scan entire rings (not just [head, tail]): the persisted tail may lag a
+  // published entry that a crash cut off.
+  std::vector<SmoLogEntry*> pending;
+  uint64_t max_seq = 0;
+  for (size_t s = 0; s < kMaxWriterSlots; ++s) {
+    SmoLog* log = logs_[s];
+    if (log == nullptr) {
+      continue;
+    }
+    for (size_t i = 0; i < kSmoLogEntries; ++i) {
+      SmoLogEntry& e = log->entries[i];
+      if (e.type == 0) {
+        continue;
+      }
+      max_seq = std::max(max_seq, e.seq);
+      if (!e.applied) {
+        pending.push_back(&e);
+      }
+    }
+  }
+  smo_seq_.store(max_seq + 1, std::memory_order_relaxed);
+  // In-flight entries (seq not yet published) are the last op of their writer
+  // and replay after every published one.
+  auto order = [](const SmoLogEntry* e) { return e->seq == 0 ? ~uint64_t{0} : e->seq; };
+  std::sort(pending.begin(), pending.end(),
+            [&](const SmoLogEntry* a, const SmoLogEntry* b) { return order(a) < order(b); });
+
+  for (SmoLogEntry* e : pending) {
+    if (e->type == kSmoTypeSplit) {
+      RecoverSplit(e);
+    } else {
+      RecoverMerge(e);
+    }
+  }
+
+  if (opts_.dram_search_layer) {
+    // Rebuild the volatile trie from the (now consistent) data layer.
+    DataNode* node = PPtr<DataNode>(root_->head_raw).get();
+    while (node != nullptr) {
+      if (!node->IsDeleted()) {
+        art_->Insert(node->anchor, ToPPtr(node).Cast<void>().raw);
+      }
+      node = node->Next();
+    }
+  }
+
+  art_->Recover();
+
+  // All pending work has been rolled forward; reset the rings.
+  for (size_t s = 0; s < kMaxWriterSlots; ++s) {
+    SmoLog* log = logs_[s];
+    if (log == nullptr) {
+      continue;
+    }
+    std::memset(static_cast<void*>(log->entries), 0, sizeof(log->entries));
+    log->head = 0;
+    log->tail = 0;
+    PersistFence(log, sizeof(SmoLog));
+  }
+}
+
+void PacTree::RecoverSplit(SmoLogEntry* e) {
+  DataNode* node = PPtr<DataNode>(e->node_raw).get();
+  uint64_t new_raw = e->other_raw;
+  if (new_raw == 0) {
+    // Crash before the new node was even allocated: the split never became
+    // visible and the triggering insert was never acknowledged. Drop it.
+    return;
+  }
+  DataNode* new_node = PPtr<DataNode>(new_raw).get();
+  // Is the new node linked into the list? Walk forward from the split node.
+  bool linked = false;
+  DataNode* cur = node;
+  for (int hops = 0; hops < 1 << 20 && cur != nullptr; ++hops) {
+    uint64_t nxt = cur->NextRaw();
+    if (nxt == new_raw) {
+      linked = true;
+      break;
+    }
+    cur = PPtr<DataNode>(nxt).get();
+    if (cur == nullptr || cur->anchor > e->anchor) {
+      break;
+    }
+  }
+  if (!linked) {
+    // Not visible: release the allocated node and forget the split.
+    PmemFree(PPtr<void>(new_raw));
+    return;
+  }
+  // Visible: roll forward. (1) the predecessor must not keep keys that moved.
+  DataNode* pred = PPtr<DataNode>(new_node->PrevRaw()).get();
+  if (pred != nullptr) {
+    uint64_t bm = pred->Bitmap();
+    uint64_t trimmed = bm;
+    while (bm != 0) {
+      int i = __builtin_ctzll(bm);
+      if (pred->keys[i] >= e->anchor) {
+        trimmed &= ~(1ULL << i);
+      }
+      bm &= bm - 1;
+    }
+    if (trimmed != pred->Bitmap()) {
+      pred->PublishBitmap(trimmed);
+    }
+  }
+  // (2) the right neighbor's back-pointer.
+  DataNode* right = PPtr<DataNode>(new_node->NextRaw()).get();
+  if (right != nullptr && right->PrevRaw() != new_raw) {
+    right->StorePrevPersist(new_raw);
+  }
+  // (3) the search layer.
+  art_->Insert(e->anchor, new_raw);
+  e->applied = 1;
+  PersistFence(&e->applied, sizeof(e->applied));
+}
+
+void PacTree::RecoverMerge(SmoLogEntry* e) {
+  DataNode* node = PPtr<DataNode>(e->node_raw).get();
+  DataNode* right = PPtr<DataNode>(e->other_raw).get();
+  if (right == nullptr) {
+    return;
+  }
+  if (!right->IsDeleted()) {
+    // Copy phase may be incomplete: move over every live key the survivor does
+    // not already hold, then mark the victim deleted.
+    uint64_t bm = right->Bitmap();
+    uint64_t add = 0;
+    while (bm != 0) {
+      int i = __builtin_ctzll(bm);
+      bm &= bm - 1;
+      const Key& k = right->keys[i];
+      if (node->FindKey(k, k.Fingerprint()) >= 0) {
+        continue;
+      }
+      uint64_t live = node->Bitmap() | add;
+      if (live == ~0ULL) {
+        break;  // no room: abandon the merge roll-forward (victim stays live)
+      }
+      int free = __builtin_ctzll(~live);
+      node->FillSlot(free, k, k.Fingerprint(), right->values[i]);
+      add |= 1ULL << free;
+    }
+    if ((right->Bitmap() != 0 && add == 0 && node->Bitmap() == ~0ULL)) {
+      return;  // could not complete; leave both nodes live (list still valid)
+    }
+    if (add != 0) {
+      node->PublishBitmap(node->Bitmap() | add);
+    }
+    std::atomic_ref<uint32_t>(right->deleted).store(1, std::memory_order_release);
+    PersistFence(&right->deleted, sizeof(right->deleted));
+  }
+  // Unlink.
+  if (node->NextRaw() == e->other_raw) {
+    node->StoreNextPersist(right->NextRaw());
+  }
+  DataNode* r2 = PPtr<DataNode>(right->NextRaw()).get();
+  if (r2 != nullptr && r2->PrevRaw() == e->other_raw) {
+    r2->StorePrevPersist(e->node_raw);
+  }
+  // Search layer + physical free (recovery is single-threaded: free directly).
+  art_->Remove(e->anchor);
+  e->applied = 1;
+  PersistFence(&e->applied, sizeof(e->applied));
+  PmemFree(PPtr<void>(e->other_raw));
+}
+
+// ---------------------------------------------------------------------------
+// Writer-slot / SMO-log plumbing
+// ---------------------------------------------------------------------------
+
+uint32_t PacTree::WriterSlot() {
+  struct Cache {
+    PacTree* tree = nullptr;
+    uint32_t slot = 0;
+    std::unordered_map<PacTree*, uint32_t> others;
+  };
+  thread_local Cache cache;
+  if (cache.tree == this) {
+    return cache.slot;
+  }
+  auto it = cache.others.find(this);
+  if (it != cache.others.end()) {
+    cache.tree = this;
+    cache.slot = it->second;
+    return it->second;
+  }
+  uint32_t slot = next_writer_slot_.fetch_add(1, std::memory_order_relaxed) %
+                  kMaxWriterSlots;
+  cache.others[this] = slot;
+  cache.tree = this;
+  cache.slot = slot;
+  return slot;
+}
+
+SmoLog* PacTree::WriterLog() { return logs_[WriterSlot()]; }
+
+SmoLogEntry* PacTree::LogSmo(uint32_t type, uint64_t node_raw, uint64_t other_raw,
+                             const Key& anchor, SmoLog** log_out) {
+  SmoLog* log = WriterLog();
+  // Writer slots can be shared by more threads than kMaxWriterSlots; appends
+  // to one ring are serialized by a tiny per-ring ticket embedded in tail's
+  // top bit-free range (in practice thread counts here are far below 64, so
+  // contention is nil; correctness is preserved by the CAS).
+  uint64_t pos;
+  while (true) {
+    pos = std::atomic_ref<uint64_t>(log->tail).load(std::memory_order_acquire);
+    uint64_t head = std::atomic_ref<uint64_t>(log->head).load(std::memory_order_acquire);
+    if (pos - head >= kSmoLogEntries) {
+      // Ring full: wait for the updater to drain (bounded by SMO rate).
+      CpuRelax();
+      std::this_thread::yield();
+      continue;
+    }
+    if (std::atomic_ref<uint64_t>(log->tail).compare_exchange_weak(
+            pos, pos + 1, std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+  SmoLogEntry& e = log->At(pos);
+  e.seq = 0;  // published by PublishSmo once the data-layer work is durable
+  e.applied = 0;
+  e.node_raw = node_raw;
+  e.other_raw = other_raw;
+  e.anchor = anchor;
+  std::atomic_ref<uint32_t>(e.type).store(type, std::memory_order_release);
+  PersistFence(&e, sizeof(e));
+  PersistFence(&log->tail, sizeof(log->tail));
+  if (log_out != nullptr) {
+    *log_out = log;
+  }
+  return &e;
+}
+
+void PacTree::PublishSmo(SmoLogEntry* e) {
+  // The updater (and any same-anchor successor SMO) may act on this entry only
+  // once the data layer reflects it; the seq store is that publication point.
+  uint64_t seq = smo_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_ref<uint64_t>(e->seq).store(seq, std::memory_order_release);
+  PersistFence(&e->seq, sizeof(e->seq));
+}
+
+// ---------------------------------------------------------------------------
+// Search-layer synchronization (the updater)
+// ---------------------------------------------------------------------------
+
+void PacTree::ApplySmo(SmoLogEntry* e) {
+  if (e->type == kSmoTypeSplit) {
+    art_->Insert(e->anchor, e->other_raw);
+    e->applied = 1;
+    PersistFence(&e->applied, sizeof(e->applied));
+    stat_applied_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Merge: remove the anchor, then free the victim after two epochs (§5.6).
+  art_->Remove(e->anchor);
+  e->applied = 1;
+  PersistFence(&e->applied, sizeof(e->applied));
+  stat_applied_.fetch_add(1, std::memory_order_relaxed);
+  EpochManager::Instance().Retire(PPtr<void>(e->other_raw));
+}
+
+size_t PacTree::UpdaterPass() {
+  struct Item {
+    uint64_t seq;
+    SmoLogEntry* e;
+  };
+  std::vector<Item> items;
+  for (size_t s = 0; s < kMaxWriterSlots; ++s) {
+    SmoLog* log = logs_[s];
+    uint64_t head = std::atomic_ref<uint64_t>(log->head).load(std::memory_order_acquire);
+    uint64_t tail = std::atomic_ref<uint64_t>(log->tail).load(std::memory_order_acquire);
+    for (uint64_t i = head; i < tail && i < head + kSmoLogEntries; ++i) {
+      SmoLogEntry& e = log->At(i);
+      uint64_t seq = std::atomic_ref<uint64_t>(e.seq).load(std::memory_order_acquire);
+      if (seq == 0) {
+        break;  // writer claimed but not yet published; later entries wait
+      }
+      if (!e.applied) {
+        items.push_back({seq, &e});
+      }
+    }
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.seq < b.seq; });
+  size_t applied = 0;
+  for (const Item& it : items) {
+    // Same-anchor SMOs must apply in causal order even if the ring snapshot
+    // missed an earlier entry: a merge waits until its anchor is present (its
+    // split applied); a split re-creating an anchor waits until the prior
+    // merge removed it. Different anchors commute.
+    uint64_t probe;
+    bool present = art_->Lookup(it.e->anchor, &probe) == Status::kOk;
+    if (it.e->type == kSmoTypeMerge ? !present : present) {
+      break;  // defer the rest of this pass to preserve seq order
+    }
+    ApplySmo(it.e);
+    applied++;
+  }
+  AdvanceLogHeads();
+  return applied;
+}
+
+void PacTree::AdvanceLogHeads() {
+  // Advance ring heads past contiguously-applied entries.
+  for (size_t s = 0; s < kMaxWriterSlots; ++s) {
+    SmoLog* log = logs_[s];
+    uint64_t head = std::atomic_ref<uint64_t>(log->head).load(std::memory_order_acquire);
+    uint64_t tail = std::atomic_ref<uint64_t>(log->tail).load(std::memory_order_acquire);
+    uint64_t new_head = head;
+    while (new_head < tail) {
+      SmoLogEntry& e = log->At(new_head);
+      if (std::atomic_ref<uint64_t>(e.seq).load(std::memory_order_acquire) == 0 ||
+          !e.applied) {
+        break;
+      }
+      e.seq = 0;
+      e.applied = 0;
+      std::atomic_ref<uint32_t>(e.type).store(0, std::memory_order_release);
+      PersistRange(&e.seq, 2 * sizeof(uint64_t));  // seq/type/applied: one line
+      new_head++;
+    }
+    if (new_head != head) {
+      Fence();
+      std::atomic_ref<uint64_t>(log->head).store(new_head, std::memory_order_release);
+      PersistFence(&log->head, sizeof(log->head));
+    }
+  }
+}
+
+void PacTree::UpdaterLoop() {
+  // Exponential idle backoff: a hot updater drains SMOs within ~100 us, but an
+  // idle one must not keep waking up and preempting worker threads (pure-read
+  // phases would otherwise pay a context switch per wakeup).
+  uint64_t idle_us = 100;
+  while (!stop_updater_.load(std::memory_order_acquire)) {
+    size_t n = UpdaterPass();
+    EpochManager::Instance().TryAdvanceAndReclaim();
+    if (n == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(idle_us));
+      idle_us = std::min<uint64_t>(idle_us * 2, 20000);
+    } else {
+      idle_us = 100;
+    }
+  }
+}
+
+void PacTree::DrainSmoLogs() {
+  while (true) {
+    bool empty = true;
+    for (size_t s = 0; s < kMaxWriterSlots && empty; ++s) {
+      SmoLog* log = logs_[s];
+      if (log == nullptr) {
+        continue;
+      }
+      uint64_t head = std::atomic_ref<uint64_t>(log->head).load(std::memory_order_acquire);
+      uint64_t tail = std::atomic_ref<uint64_t>(log->tail).load(std::memory_order_acquire);
+      if (head != tail) {
+        empty = false;
+      }
+    }
+    if (empty) {
+      return;
+    }
+    if (!updater_.joinable()) {
+      UpdaterPass();
+      EpochManager::Instance().TryAdvanceAndReclaim();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Data-layer navigation (jump-node fix-up, §5.3)
+// ---------------------------------------------------------------------------
+
+DataNode* PacTree::FindDataNode(const Key& key, uint64_t* version) const {
+  Key found;
+  uint64_t raw = 0;
+  DataNode* node;
+  Status fs = art_->LookupFloor(key, &found, &raw);
+  if (fs == Status::kOk && raw != 0) {
+    node = PPtr<DataNode>(raw).get();
+  } else {
+    node = PPtr<DataNode>(root_->head_raw).get();
+  }
+  uint32_t hops = 0;
+  while (true) {
+    uint64_t v = node->lock.ReadLock();
+    AnnotateNvmRead(node, 256);  // metadata + anchor + fingerprints
+    if (node->IsDeleted()) {
+      DataNode* prev = node->Prev();
+      if (!node->lock.Validate(v) || prev == nullptr) {
+        continue;
+      }
+      node = prev;
+      hops++;
+      continue;
+    }
+    if (key < node->anchor) {
+      DataNode* prev = node->Prev();
+      if (!node->lock.Validate(v) || prev == nullptr) {
+        continue;
+      }
+      node = prev;
+      hops++;
+      continue;
+    }
+    DataNode* next = node->Next();
+    if (next != nullptr && next->anchor <= key) {
+      if (!node->lock.Validate(v)) {
+        continue;
+      }
+      node = next;
+      hops++;
+      continue;
+    }
+    if (!node->lock.Validate(v)) {
+      continue;
+    }
+    stat_hops_[hops < 3 ? hops : 3].fetch_add(1, std::memory_order_relaxed);
+    *version = v;
+    return node;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Point operations
+// ---------------------------------------------------------------------------
+
+Status PacTree::Lookup(const Key& key, uint64_t* value) const {
+  EpochGuard guard;
+  uint8_t fingerprint = key.Fingerprint();
+  while (true) {
+    uint64_t version;
+    DataNode* node = FindDataNode(key, &version);
+    int slot = node->FindKey(key, fingerprint);
+    uint64_t v = 0;
+    if (slot >= 0) {
+      AnnotateNvmRead(&node->values[slot], sizeof(uint64_t));
+      v = std::atomic_ref<uint64_t>(node->values[slot]).load(std::memory_order_acquire);
+    }
+    if (!node->lock.Validate(version)) {
+      stat_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (slot < 0) {
+      return Status::kNotFound;
+    }
+    if (value != nullptr) {
+      *value = v;
+    }
+    return Status::kOk;
+  }
+}
+
+void PacTree::MaintainPermutation(DataNode* node) {
+  // "-Selective persistence" mode: keep the permutation array durable on every
+  // write, paying flushes + an extra cache-line invalidation (Figure 12).
+  uint8_t order[kDataNodeEntries];
+  int n = node->ComputeSortedOrder(order);
+  std::memcpy(node->perm, order, n);
+  node->perm_version = kPermBuilding;  // durable copy is for recovery, not reads
+  PersistFence(node->perm, kDataNodeEntries);
+}
+
+Status PacTree::Insert(const Key& key, uint64_t value) {
+  EpochGuard guard;
+  uint8_t fingerprint = key.Fingerprint();
+  while (true) {
+    uint64_t version;
+    DataNode* node = FindDataNode(key, &version);
+    if (!node->lock.TryUpgrade(version)) {
+      stat_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    int existing = node->FindKey(key, fingerprint);
+    int free = node->FindFreeSlot();
+    if (free < 0) {
+      node = SplitLocked(node, key);
+      existing = node->FindKey(key, fingerprint);
+      free = node->FindFreeSlot();
+      assert(free >= 0 && "a freshly split node has free slots");
+    }
+    node->FillSlot(free, key, fingerprint, value);
+    uint64_t bm = node->Bitmap() | (1ULL << free);
+    if (existing >= 0) {
+      bm &= ~(1ULL << existing);  // old and new flipped in one atomic store
+    }
+    node->PublishBitmap(bm);
+    if (!opts_.selective_persistence) {
+      MaintainPermutation(node);
+    }
+    node->lock.WriteUnlock();
+    return existing >= 0 ? Status::kExists : Status::kOk;
+  }
+}
+
+Status PacTree::Update(const Key& key, uint64_t value) {
+  EpochGuard guard;
+  uint8_t fingerprint = key.Fingerprint();
+  while (true) {
+    uint64_t version;
+    DataNode* node = FindDataNode(key, &version);
+    int existing = node->FindKey(key, fingerprint);
+    if (existing < 0) {
+      if (!node->lock.Validate(version)) {
+        stat_retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      return Status::kNotFound;
+    }
+    if (!node->lock.TryUpgrade(version)) {
+      stat_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    existing = node->FindKey(key, fingerprint);
+    if (existing < 0) {
+      node->lock.WriteUnlock();
+      return Status::kNotFound;
+    }
+    int free = node->FindFreeSlot();
+    if (free < 0) {
+      node = SplitLocked(node, key);
+      // The key was present under the lock, so it lives in the half that now
+      // owns it; a freshly split node always has free slots.
+      existing = node->FindKey(key, fingerprint);
+      free = node->FindFreeSlot();
+    }
+    if (existing < 0 || free < 0) {
+      node->lock.WriteUnlock();
+      return Status::kNotFound;  // defensive: invariant violated
+    }
+    node->FillSlot(free, key, fingerprint, value);
+    uint64_t bm = (node->Bitmap() | (1ULL << free)) & ~(1ULL << existing);
+    node->PublishBitmap(bm);
+    if (!opts_.selective_persistence) {
+      MaintainPermutation(node);
+    }
+    node->lock.WriteUnlock();
+    return Status::kOk;
+  }
+}
+
+Status PacTree::Remove(const Key& key) {
+  EpochGuard guard;
+  uint8_t fingerprint = key.Fingerprint();
+  while (true) {
+    uint64_t version;
+    DataNode* node = FindDataNode(key, &version);
+    int slot = node->FindKey(key, fingerprint);
+    if (slot < 0) {
+      if (!node->lock.Validate(version)) {
+        stat_retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      return Status::kNotFound;
+    }
+    if (!node->lock.TryUpgrade(version)) {
+      stat_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    slot = node->FindKey(key, fingerprint);
+    if (slot < 0) {
+      node->lock.WriteUnlock();
+      return Status::kNotFound;
+    }
+    node->PublishBitmap(node->Bitmap() & ~(1ULL << slot));
+    if (!opts_.selective_persistence) {
+      MaintainPermutation(node);
+    }
+    TryMergeLocked(node);
+    node->lock.WriteUnlock();
+    return Status::kOk;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural modifications
+// ---------------------------------------------------------------------------
+
+DataNode* PacTree::SplitLocked(DataNode* node, const Key& key) {
+  uint8_t order[kDataNodeEntries];
+  int n = node->ComputeSortedOrder(order);
+  assert(n == static_cast<int>(kDataNodeEntries));
+  const Key split_anchor = node->keys[order[n / 2]];
+
+  // (1) Log the split; the new node is allocated straight into the log entry's
+  // placeholder, so a crash can never leak it (§5.6).
+  SmoLogEntry* e =
+      LogSmo(kSmoTypeSplit, ToPPtr(node).Cast<void>().raw, 0, split_anchor, nullptr);
+  PPtr<void> new_block = data_heap_->AllocTo(ToPPtr(&e->other_raw), sizeof(DataNode));
+  assert(!new_block.IsNull() && "data pool exhausted");
+  auto* new_node = static_cast<DataNode*>(new_block.get());
+
+  // (2) Build the new (right) node, born write-locked.
+  new_node->lock.WriteLock();  // unreachable: uncontended
+  new_node->anchor = split_anchor;
+  new_node->deleted = 0;
+  new_node->perm_version = kPermBuilding;
+  new_node->next_raw = node->NextRaw();
+  new_node->prev_raw = ToPPtr(node).Cast<void>().raw;
+  uint64_t moved_bits = 0;
+  uint64_t new_bitmap = 0;
+  for (int i = n / 2; i < n; ++i) {
+    int src = order[i];
+    int dst = i - n / 2;
+    new_node->keys[dst] = node->keys[src];
+    new_node->values[dst] = node->values[src];
+    new_node->fp[dst] = node->fp[src];
+    moved_bits |= 1ULL << src;
+    new_bitmap |= 1ULL << dst;
+  }
+  new_node->bitmap = new_bitmap;
+  PersistFence(new_node, sizeof(DataNode));
+
+  // (3) Publish in the paper's order: link right of splitting node, trim the
+  // splitting node's bitmap, fix the right neighbor's back pointer.
+  DataNode* old_right = node->Next();
+  node->StoreNextPersist(new_block.raw);
+  node->PublishBitmap(node->Bitmap() & ~moved_bits);
+  if (old_right != nullptr) {
+    old_right->StorePrevPersist(new_block.raw);
+  }
+  stat_splits_.fetch_add(1, std::memory_order_relaxed);
+  PublishSmo(e);
+
+  // (4) Search layer: asynchronously via the updater, or inline in sync mode
+  // (the SL update sits on the critical path -- what Figure 12 ablates).
+  if (!opts_.async_search_update) {
+    ApplySmo(e);
+    AdvanceLogHeads();
+  }
+
+  // Hand back the half that owns |key|, still locked; unlock the other half.
+  if (key < split_anchor) {
+    new_node->lock.WriteUnlock();
+    return node;
+  }
+  node->lock.WriteUnlock();
+  return new_node;
+}
+
+void PacTree::TryMergeLocked(DataNode* node) {
+  // Prefer absorbing the right sibling; fall back to being absorbed by the
+  // left one (sequential deletes would otherwise never find a small right
+  // neighbor). All sibling locks are try-only, so lock ordering cannot
+  // deadlock. |survivor| keeps its anchor; |victim| is logically deleted.
+  DataNode* survivor = nullptr;
+  DataNode* victim = nullptr;
+  DataNode* right = node->Next();
+  if (right != nullptr && right->lock.TryWriteLock()) {
+    if (!right->IsDeleted() &&
+        node->CountLive() + right->CountLive() < kMergeThreshold) {
+      survivor = node;
+      victim = right;
+    } else {
+      right->lock.WriteUnlock();
+    }
+  }
+  if (survivor == nullptr) {
+    DataNode* left = node->Prev();
+    if (left == nullptr || !left->lock.TryWriteLock()) {
+      return;
+    }
+    if (left->IsDeleted() || left->NextRaw() != ToPPtr(node).Cast<void>().raw ||
+        left->CountLive() + node->CountLive() >= kMergeThreshold) {
+      left->lock.WriteUnlock();
+      return;
+    }
+    survivor = left;
+    victim = node;
+  }
+  uint64_t survivor_raw = ToPPtr(survivor).Cast<void>().raw;
+  uint64_t victim_raw = ToPPtr(victim).Cast<void>().raw;
+  SmoLogEntry* e =
+      LogSmo(kSmoTypeMerge, survivor_raw, victim_raw, victim->anchor, nullptr);
+
+  // Move the victim's live pairs into the survivor.
+  uint64_t bm = victim->Bitmap();
+  uint64_t add = 0;
+  while (bm != 0) {
+    int i = __builtin_ctzll(bm);
+    bm &= bm - 1;
+    uint64_t live = survivor->Bitmap() | add;
+    int free = __builtin_ctzll(~live);
+    survivor->FillSlot(free, victim->keys[i], victim->fp[i], victim->values[i]);
+    add |= 1ULL << free;
+  }
+  survivor->PublishBitmap(survivor->Bitmap() | add);
+
+  // Logically delete the victim, then unlink it.
+  std::atomic_ref<uint32_t>(victim->deleted).store(1, std::memory_order_release);
+  PersistFence(&victim->deleted, sizeof(victim->deleted));
+  DataNode* r2 = victim->Next();
+  survivor->StoreNextPersist(victim->NextRaw());
+  if (r2 != nullptr) {
+    r2->StorePrevPersist(survivor_raw);
+  }
+  // Unlock whichever sibling we locked here; the caller's node stays locked.
+  DataNode* locked_sibling = survivor == node ? victim : survivor;
+  locked_sibling->lock.WriteUnlock();
+  stat_merges_.fetch_add(1, std::memory_order_relaxed);
+  PublishSmo(e);
+
+  if (!opts_.async_search_update) {
+    ApplySmo(e);
+    AdvanceLogHeads();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+size_t PacTree::Scan(const Key& start, size_t count,
+                     std::vector<std::pair<Key, uint64_t>>* out) const {
+  EpochGuard guard;
+  out->clear();
+  Key cursor = start;  // smallest key still wanted
+  uint64_t version;
+  DataNode* node = FindDataNode(cursor, &version);
+
+  std::pair<Key, uint64_t> batch[kDataNodeEntries];
+  while (node != nullptr && out->size() < count) {
+    size_t batch_n;
+    uint64_t next_raw;
+    while (true) {
+      batch_n = 0;
+      AnnotateNvmRead(node, sizeof(DataNode));  // sequential whole-node read (GA5)
+      uint8_t order[kDataNodeEntries];
+      int n;
+      // Permutation-array fast path (§5.4): reuse the cached sorted order when
+      // its version matches; otherwise rebuild and try to publish it. The
+      // kPermBuilding bit makes publishers mutually exclusive; the array is
+      // never persisted (selective persistence, §4.4).
+      uint64_t pv = std::atomic_ref<uint64_t>(node->perm_version)
+                        .load(std::memory_order_acquire);
+      if (pv == version) {
+        n = node->CountLive();
+        std::memcpy(order, node->perm, kDataNodeEntries);
+      } else {
+        n = node->ComputeSortedOrder(order);
+        if ((pv & kPermBuilding) == 0 &&
+            std::atomic_ref<uint64_t>(node->perm_version)
+                .compare_exchange_strong(pv, kPermBuilding, std::memory_order_acq_rel)) {
+          std::memcpy(node->perm, order, kDataNodeEntries);
+          std::atomic_ref<uint64_t>(node->perm_version)
+              .store(node->lock.Validate(version) ? version : 0,
+                     std::memory_order_release);
+        }
+      }
+      for (int i = 0; i < n && i < static_cast<int>(kDataNodeEntries); ++i) {
+        const Key& k = node->keys[order[i]];
+        if (k < cursor) {
+          continue;
+        }
+        batch[batch_n++] = {k, node->values[order[i]]};
+      }
+      next_raw = node->NextRaw();
+      if (node->lock.Validate(version)) {
+        break;
+      }
+      // Concurrent writer (or merge) hit this node: re-locate the cursor.
+      stat_retries_.fetch_add(1, std::memory_order_relaxed);
+      node = FindDataNode(cursor, &version);
+    }
+    for (size_t i = 0; i < batch_n && out->size() < count; ++i) {
+      out->push_back(batch[i]);
+    }
+    if (next_raw == 0) {
+      break;
+    }
+    node = PPtr<DataNode>(next_raw).get();
+    cursor = node->anchor;  // anchors are immutable
+    version = node->lock.ReadLock();
+    if (node->IsDeleted()) {
+      node = FindDataNode(cursor, &version);
+    }
+  }
+  return out->size();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+uint64_t PacTree::Size() const {
+  uint64_t total = 0;
+  DataNode* node = PPtr<DataNode>(root_->head_raw).get();
+  while (node != nullptr) {
+    if (!node->IsDeleted()) {
+      total += static_cast<uint64_t>(node->CountLive());
+    }
+    node = node->Next();
+  }
+  return total;
+}
+
+bool PacTree::CheckInvariants(std::string* why) const {
+  DataNode* node = PPtr<DataNode>(root_->head_raw).get();
+  if (node == nullptr) {
+    *why = "missing head node";
+    return false;
+  }
+  if (node->anchor != Key::Min()) {
+    *why = "head anchor is not Min";
+    return false;
+  }
+  uint64_t prev_raw = 0;
+  while (node != nullptr) {
+    if (node->IsDeleted()) {
+      *why = "deleted node still linked";
+      return false;
+    }
+    if (node->PrevRaw() != prev_raw) {
+      *why = "prev pointer mismatch at anchor " + node->anchor.ToString();
+      return false;
+    }
+    DataNode* next = node->Next();
+    Key upper = next != nullptr ? next->anchor : Key::Max();
+    if (next != nullptr && !(node->anchor < next->anchor)) {
+      *why = "anchors not strictly increasing";
+      return false;
+    }
+    uint64_t bm = node->Bitmap();
+    while (bm != 0) {
+      int i = __builtin_ctzll(bm);
+      bm &= bm - 1;
+      if (node->keys[i] < node->anchor ||
+          (next != nullptr && node->keys[i] >= upper)) {
+        *why = "key outside node range";
+        return false;
+      }
+      if (node->fp[i] != node->keys[i].Fingerprint()) {
+        *why = "stale fingerprint";
+        return false;
+      }
+    }
+    prev_raw = ToPPtr(node).Cast<void>().raw;
+    node = next;
+  }
+  return true;
+}
+
+PacTreeStats PacTree::Stats() const {
+  PacTreeStats s;
+  s.splits = stat_splits_.load(std::memory_order_relaxed);
+  s.merges = stat_merges_.load(std::memory_order_relaxed);
+  s.smo_applied = stat_applied_.load(std::memory_order_relaxed);
+  for (int i = 0; i < 4; ++i) {
+    s.jump_hops[i] = stat_hops_[i].load(std::memory_order_relaxed);
+  }
+  s.retries = stat_retries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace pactree

@@ -1,0 +1,166 @@
+// PACTree: a high-performance persistent range index built on the PAC
+// guidelines (SOSP'21).
+//
+// Architecture (paper §4): a *data layer* -- a doubly-linked list of 64-entry
+// slotted data nodes -- decoupled from a *search layer* -- a PDL-ART trie over
+// the data nodes' anchor keys. Splits and merges update only the data layer on
+// the critical path; a persistent SMO log plus a background updater thread
+// synchronize the search layer asynchronously. Readers that arrive through a
+// stale search layer land on a "jump node" and walk the data layer's sibling
+// pointers to the target (ephemeral-inconsistency-tolerant design, §4.3).
+//
+// Guarantees: durable linearizability (an acknowledged write is durable; a read
+// never returns an unpersisted write), crash consistency without logging for
+// common-case writes (bitmap = linearization + durability pivot), leak-free
+// allocation, near-instant recovery (both layers live on NVM).
+#ifndef PACTREE_SRC_PACTREE_PACTREE_H_
+#define PACTREE_SRC_PACTREE_PACTREE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/art/art.h"
+#include "src/common/key.h"
+#include "src/common/status.h"
+#include "src/pactree/data_node.h"
+#include "src/pactree/smo_log.h"
+#include "src/pmem/heap.h"
+
+namespace pactree {
+
+struct PacTreeOptions {
+  std::string name = "pactree";
+  uint16_t pool_id_base = 100;  // uses [base, base+24): search/data/log heaps
+  size_t pool_size = 512ULL << 20;  // per NUMA sub-pool
+
+  // Feature toggles for the paper's Figure 12 factor analysis. All on by
+  // default (full PACTree).
+  bool async_search_update = true;   // off -> SL updated on the critical path
+  bool per_numa_pools = true;        // off -> single pool per heap
+  bool selective_persistence = true; // off -> persist the permutation array
+  bool dram_search_layer = false;    // on  -> trie in DRAM (rebuilt-free: ART
+                                     //        is rebuilt from SMO-na... kept
+                                     //        volatile; recovery rebuilds it)
+};
+
+struct PacTreeStats {
+  uint64_t splits = 0;
+  uint64_t merges = 0;
+  uint64_t smo_applied = 0;
+  // Jump-node distance distribution (§6.7): how many sibling hops a lookup
+  // needed after the search-layer traversal.
+  uint64_t jump_hops[4] = {0, 0, 0, 0};  // 0, 1, 2, >=3
+  uint64_t retries = 0;
+};
+
+class PacTree {
+ public:
+  // Opens (or creates) the index. Runs full recovery when attaching to an
+  // existing instance. Returns null on failure.
+  static std::unique_ptr<PacTree> Open(const PacTreeOptions& opts);
+
+  // Removes the backing pool files.
+  static void Destroy(const std::string& name);
+
+  ~PacTree();
+  PacTree(const PacTree&) = delete;
+  PacTree& operator=(const PacTree&) = delete;
+
+  // Upsert: kOk = fresh insert, kExists = value overwritten.
+  Status Insert(const Key& key, uint64_t value);
+  // Update only (kNotFound when absent). The paper's update writes the new
+  // value to a fresh slot and flips both bitmap bits in one atomic store.
+  Status Update(const Key& key, uint64_t value);
+  Status Lookup(const Key& key, uint64_t* value) const;
+  Status Remove(const Key& key);
+
+  // Range scan: up to |count| pairs with key >= |start|, ascending.
+  size_t Scan(const Key& start, size_t count,
+              std::vector<std::pair<Key, uint64_t>>* out) const;
+
+  // Blocks until every logged SMO has been applied to the search layer.
+  void DrainSmoLogs();
+
+  PacTreeStats Stats() const;
+  const PacTreeOptions& options() const { return opts_; }
+  PdlArt* search_layer() { return art_.get(); }
+  // Backing heaps (crash tests shadow their pools).
+  PmemHeap* search_heap() const { return search_heap_.get(); }
+  PmemHeap* data_heap() const { return data_heap_.get(); }
+  PmemHeap* log_heap() const { return log_heap_.get(); }
+
+  // Total live keys (O(n) data-layer walk; tests/examples only).
+  uint64_t Size() const;
+
+  // Verifies data-layer invariants (anchors ordered, ranges respected,
+  // sibling links consistent). Returns false and fills |why| on violation.
+  bool CheckInvariants(std::string* why) const;
+
+ private:
+  struct PacRoot;  // persistent root object (defined in .cc)
+
+  PacTree() = default;
+
+  bool Init(const PacTreeOptions& opts);
+  void Recover();
+  void RecoverSplit(SmoLogEntry* e);
+  void RecoverMerge(SmoLogEntry* e);
+
+  // Finds the data node owning |key|: search-layer floor + sibling fix-up.
+  // Returns the node with a validated read token.
+  DataNode* FindDataNode(const Key& key, uint64_t* version) const;
+
+  // Appends an SMO record; returns the persisted entry (still pending).
+  SmoLogEntry* LogSmo(uint32_t type, uint64_t node_raw, uint64_t other_raw,
+                      const Key& anchor, SmoLog** log_out);
+  // Publishes the entry's sequence number after its data-layer work is done.
+  void PublishSmo(SmoLogEntry* e);
+
+  // Splits |node| (write-locked, full). Returns the node that now owns |key|
+  // (still write-locked; the other half is unlocked).
+  DataNode* SplitLocked(DataNode* node, const Key& key);
+
+  // Attempts to merge |right| into |node| (both ranges adjacent). |node| is
+  // write-locked; takes/releases |right|'s lock internally.
+  void TryMergeLocked(DataNode* node);
+
+  // Applies one SMO entry to the search layer (updater thread or sync mode).
+  void ApplySmo(SmoLogEntry* e);
+  // One updater round; returns the number of entries applied.
+  size_t UpdaterPass();
+  // Retires contiguously-applied ring entries and advances head pointers.
+  void AdvanceLogHeads();
+  void UpdaterLoop();
+
+  SmoLog* WriterLog();
+  uint32_t WriterSlot();
+
+  void MaintainPermutation(DataNode* node);  // !selective_persistence mode
+
+  PacTreeOptions opts_;
+  std::unique_ptr<PmemHeap> search_heap_;
+  std::unique_ptr<PmemHeap> data_heap_;
+  std::unique_ptr<PmemHeap> log_heap_;
+  std::unique_ptr<PdlArt> art_;
+  PacRoot* root_ = nullptr;
+  SmoLog* logs_[kMaxWriterSlots] = {};
+  std::atomic<uint32_t> next_writer_slot_{0};
+  std::atomic<uint64_t> smo_seq_{1};
+
+  std::thread updater_;
+  std::atomic<bool> stop_updater_{false};
+
+  mutable PacTreeStats stats_;
+  mutable std::atomic<uint64_t> stat_splits_{0};
+  mutable std::atomic<uint64_t> stat_merges_{0};
+  mutable std::atomic<uint64_t> stat_applied_{0};
+  mutable std::atomic<uint64_t> stat_hops_[4] = {};
+  mutable std::atomic<uint64_t> stat_retries_{0};
+};
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_PACTREE_PACTREE_H_

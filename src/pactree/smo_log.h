@@ -1,0 +1,51 @@
+// Per-writer persistent SMO logs (paper §4.3, §5.6).
+//
+// A split or merge is logged (and the log entry persisted) before the data
+// layer is modified; the background updater thread later replays entries in
+// global timestamp order to synchronize the search layer, keeping the
+// expensive trie update off the critical path. The log also drives §5.9 crash
+// recovery: any entry still pending at restart is re-examined and the SMO is
+// rolled forward.
+#ifndef PACTREE_SRC_PACTREE_SMO_LOG_H_
+#define PACTREE_SRC_PACTREE_SMO_LOG_H_
+
+#include <cstdint>
+
+#include "src/common/key.h"
+
+namespace pactree {
+
+inline constexpr uint32_t kSmoTypeSplit = 1;
+inline constexpr uint32_t kSmoTypeMerge = 2;
+
+struct SmoLogEntry {
+  uint64_t seq;       // global timestamp; 0 = empty. Published LAST.
+  uint32_t type;
+  uint32_t applied;   // set by the updater after the search layer caught up
+  uint64_t node_raw;  // splitting node / surviving left node
+  uint64_t other_raw; // split: new-node placeholder (AllocTo target);
+                      // merge: the deleted right node
+  Key anchor;         // split: new node's anchor; merge: deleted node's anchor
+  uint8_t pad[60];
+};
+static_assert(sizeof(SmoLogEntry) == 128, "two cache lines per entry");
+
+inline constexpr size_t kSmoLogEntries = 500;
+
+// One ring per writer slot. head/tail are element counters (mod capacity).
+struct SmoLog {
+  uint64_t head;  // first unapplied entry (advanced by the updater, persisted)
+  uint64_t tail;  // next append position (advanced by the owning writer)
+  uint8_t pad[112];
+  SmoLogEntry entries[kSmoLogEntries];
+
+  SmoLogEntry& At(uint64_t i) { return entries[i % kSmoLogEntries]; }
+};
+static_assert(sizeof(SmoLog) == 128 + sizeof(SmoLogEntry) * kSmoLogEntries,
+              "log layout");
+
+inline constexpr size_t kMaxWriterSlots = 64;
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_PACTREE_SMO_LOG_H_

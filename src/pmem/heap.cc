@@ -1,0 +1,105 @@
+#include "src/pmem/heap.h"
+
+#include "src/nvm/config.h"
+#include "src/nvm/topology.h"
+
+namespace pactree {
+namespace {
+
+std::string PoolPath(const std::string& name, uint32_t node) {
+  return NvmConfig::DefaultPoolDir() + "/" + name + "." + std::to_string(node) + ".pool";
+}
+
+}  // namespace
+
+std::unique_ptr<PmemHeap> PmemHeap::OpenOrCreate(const std::string& name,
+                                                 const PmemHeapOptions& opts,
+                                                 bool* created) {
+  auto heap = std::unique_ptr<PmemHeap>(new PmemHeap());
+  heap->name_ = name;
+  heap->opts_ = opts;
+  uint32_t nodes = opts.single_pool ? 1 : GlobalNvmConfig().numa_nodes;
+  if (nodes == 0) {
+    nodes = 1;
+  }
+  PmemPoolOptions popts;
+  popts.size = opts.pool_size != 0 ? opts.pool_size : (64ULL << 20);
+  popts.crash_consistent = opts.crash_consistent;
+  popts.dram = opts.dram;
+
+  bool did_create = false;
+  for (uint32_t n = 0; n < nodes; ++n) {
+    uint16_t pool_id = static_cast<uint16_t>(opts.pool_id_base + n);
+    std::string path = PoolPath(name, n);
+    std::unique_ptr<PmemPool> pool;
+    if (!opts.dram && NvmPoolFile::Exists(path)) {
+      pool = PmemPool::Open(path, pool_id, n, popts);
+    }
+    if (pool == nullptr) {
+      pool = PmemPool::Create(path, pool_id, n, popts);
+      did_create = true;
+    }
+    if (pool == nullptr) {
+      return nullptr;
+    }
+    heap->pools_.push_back(std::move(pool));
+  }
+  if (created != nullptr) {
+    *created = did_create;
+  }
+  return heap;
+}
+
+void PmemHeap::Destroy(const std::string& name) {
+  for (uint32_t n = 0; n < 64; ++n) {
+    std::string path = PoolPath(name, n);
+    if (!NvmPoolFile::Exists(path)) {
+      break;
+    }
+    NvmPoolFile::Remove(path);
+  }
+}
+
+PmemPool* PmemHeap::LocalPool() const {
+  uint32_t node = CurrentNumaNode();
+  return pools_[node % pools_.size()].get();
+}
+
+PPtr<void> PmemHeap::Alloc(size_t size) {
+  PmemPool* local = LocalPool();
+  PPtr<void> p = local->Alloc(size);
+  if (!p.IsNull()) {
+    return p;
+  }
+  // Local pool exhausted: fall back to the other nodes.
+  for (const auto& pool : pools_) {
+    if (pool.get() == local) {
+      continue;
+    }
+    p = pool->Alloc(size);
+    if (!p.IsNull()) {
+      return p;
+    }
+  }
+  return PPtr<void>::Null();
+}
+
+PPtr<void> PmemHeap::AllocTo(PPtr<uint64_t> dest, size_t size) {
+  PmemPool* local = LocalPool();
+  PPtr<void> p = local->AllocTo(dest, size);
+  if (!p.IsNull()) {
+    return p;
+  }
+  for (const auto& pool : pools_) {
+    if (pool.get() == local) {
+      continue;
+    }
+    p = pool->AllocTo(dest, size);
+    if (!p.IsNull()) {
+      return p;
+    }
+  }
+  return PPtr<void>::Null();
+}
+
+}  // namespace pactree

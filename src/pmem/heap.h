@@ -1,0 +1,67 @@
+// NUMA-aware persistent heap (paper §4.5, §5.8): one sub-pool per logical NUMA
+// node; allocations come from the calling thread's local pool, so subsequent
+// writes stay NUMA-local (GS2). A single-pool mode exists for the Figure 12
+// factor analysis ("ART(SC)" baseline without the per-NUMA pool feature).
+#ifndef PACTREE_SRC_PMEM_HEAP_H_
+#define PACTREE_SRC_PMEM_HEAP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/pmem/pool.h"
+
+namespace pactree {
+
+struct PmemHeapOptions {
+  uint16_t pool_id_base = 1;  // pool ids base .. base+nodes-1 (must be stable)
+  size_t pool_size = 0;       // per sub-pool bytes (0 -> 64 MiB)
+  bool crash_consistent = true;
+  bool dram = false;         // volatile heap (no files, no persistence)
+  bool single_pool = false;  // disable per-NUMA pools
+};
+
+class PmemHeap {
+ public:
+  // Opens the heap if its files exist, otherwise creates it. |created| (may be
+  // null) reports which happened. Returns null on failure.
+  static std::unique_ptr<PmemHeap> OpenOrCreate(const std::string& name,
+                                                const PmemHeapOptions& opts,
+                                                bool* created = nullptr);
+
+  // Removes the heap's backing files.
+  static void Destroy(const std::string& name);
+
+  // NUMA-local allocation. Falls back to other nodes' pools when local space
+  // runs out.
+  PPtr<void> Alloc(size_t size);
+  PPtr<void> AllocTo(PPtr<uint64_t> dest, size_t size);
+  void Free(PPtr<void> p) { PmemFree(p); }
+
+  uint32_t pool_count() const { return static_cast<uint32_t>(pools_.size()); }
+  PmemPool* pool(uint32_t i) const { return pools_[i].get(); }
+  PmemPool* LocalPool() const;
+  // The node-0 pool holds the heap's generation counter and root area.
+  PmemPool* primary() const { return pools_[0].get(); }
+  uint64_t generation() const { return primary()->generation(); }
+
+  // Typed access to the primary pool's root area (sizeof(T) <= kRootAreaSize).
+  template <typename T>
+  T* Root() const {
+    static_assert(sizeof(T) <= kRootAreaSize, "root object too large");
+    return reinterpret_cast<T*>(primary()->RootArea());
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  PmemHeap() = default;
+
+  std::string name_;
+  PmemHeapOptions opts_;
+  std::vector<std::unique_ptr<PmemPool>> pools_;
+};
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_PMEM_HEAP_H_

@@ -1,0 +1,591 @@
+#include "src/pmem/pool.h"
+
+#include <sys/mman.h>
+
+#include <cassert>
+#include <cstring>
+
+#include "src/common/compiler.h"
+#include "src/nvm/persist.h"
+#include "src/nvm/stats.h"
+#include "src/pmem/registry.h"
+
+namespace pactree {
+namespace {
+
+inline std::atomic_ref<uint64_t> AtomicRef64(uint64_t* p) { return std::atomic_ref<uint64_t>(*p); }
+inline std::atomic_ref<uint32_t> AtomicRef32(uint32_t* p) { return std::atomic_ref<uint32_t>(*p); }
+
+}  // namespace
+
+size_t SizeClassFor(size_t size) {
+  for (size_t i = 0; i < kNumClasses; ++i) {
+    if (size <= kSizeClasses[i]) {
+      return i;
+    }
+  }
+  return kNumClasses;  // whole-chunk path
+}
+
+// ---------------------------------------------------------------------------
+// Construction / layout
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<PmemPool> PmemPool::Create(const std::string& path, uint16_t pool_id,
+                                           uint32_t node, const PmemPoolOptions& opts) {
+  assert(pool_id != 0 && "pool id 0 is the null pool");
+  auto pool = std::unique_ptr<PmemPool>(new PmemPool());
+  size_t size = opts.size != 0 ? opts.size : (64ULL << 20);
+  pool->crash_consistent_ = opts.crash_consistent && !opts.dram;
+  pool->dram_ = opts.dram;
+  pool->path_ = path;
+  if (opts.dram) {
+    void* base = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (base == MAP_FAILED) {
+      return nullptr;
+    }
+    pool->dram_base_ = base;
+    pool->base_ = base;
+    pool->size_ = size;
+    pool->node_ = node;
+  } else {
+    if (!pool->file_.Create(path, size, node, pool_id)) {
+      return nullptr;
+    }
+    pool->base_ = pool->file_.base();
+    pool->size_ = pool->file_.size();
+    pool->node_ = node;
+  }
+  if (!pool->InitNew(pool_id, node, size)) {
+    return nullptr;
+  }
+  return pool;
+}
+
+std::unique_ptr<PmemPool> PmemPool::Open(const std::string& path, uint16_t pool_id,
+                                         uint32_t node, const PmemPoolOptions& opts) {
+  auto pool = std::unique_ptr<PmemPool>(new PmemPool());
+  pool->crash_consistent_ = opts.crash_consistent;
+  pool->path_ = path;
+  if (!pool->file_.Open(path, node, pool_id)) {
+    return nullptr;
+  }
+  pool->base_ = pool->file_.base();
+  pool->size_ = pool->file_.size();
+  pool->node_ = node;
+  if (!pool->AttachExisting(pool_id)) {
+    return nullptr;
+  }
+  return pool;
+}
+
+bool PmemPool::InitNew(uint16_t pool_id, uint32_t node, size_t size) {
+  pool_id_ = pool_id;
+  // Layout: header | chunk states | bitmaps | log slots | data chunks.
+  size_t meta = sizeof(PoolHeader);
+  size_t chunk_meta_off = meta;
+  // Solve for chunk count: each chunk costs kChunkSize data + 4 B state +
+  // bitmap words.
+  size_t per_chunk_meta = sizeof(uint32_t) + kBitmapWordsPerChunk * sizeof(uint64_t);
+  size_t fixed = meta + kLogSlots * sizeof(AllocLogSlot) + 4096;
+  if (size <= fixed + kChunkSize + per_chunk_meta) {
+    return false;
+  }
+  uint32_t chunks = static_cast<uint32_t>((size - fixed) / (kChunkSize + per_chunk_meta));
+  size_t bitmap_off = chunk_meta_off + chunks * sizeof(uint32_t);
+  bitmap_off = (bitmap_off + 63) & ~size_t{63};
+  size_t log_off = bitmap_off + chunks * kBitmapWordsPerChunk * sizeof(uint64_t);
+  log_off = (log_off + 63) & ~size_t{63};
+  size_t data_off = log_off + kLogSlots * sizeof(AllocLogSlot);
+  data_off = (data_off + 4095) & ~size_t{4095};
+  while (data_off + static_cast<size_t>(chunks) * kChunkSize > size) {
+    --chunks;
+  }
+
+  PoolHeader* h = header();
+  std::memset(h, 0, sizeof(PoolHeader));
+  h->layout_version = 1;
+  h->pool_id = pool_id;
+  h->node = static_cast<uint16_t>(node);
+  h->size = size;
+  h->chunk_count = chunks;
+  h->log_slots = kLogSlots;
+  h->chunk_meta_off = chunk_meta_off;
+  h->bitmap_off = bitmap_off;
+  h->log_off = log_off;
+  h->data_off = data_off;
+  h->generation = 1;
+  PersistFence(h, sizeof(PoolHeader));
+  // Chunk states / bitmaps / logs start zeroed (fresh file or fresh mapping).
+  h->magic = kPoolMagic;  // linearization point for pool validity
+  PersistFence(&h->magic, sizeof(h->magic));
+
+  SetPoolBase(pool_id_, base_);
+  RegisterPoolRange(base_, size_, pool_id_);
+  RegisterPoolAllocator(pool_id_, this);
+  RebuildVolatileState();
+  return true;
+}
+
+bool PmemPool::AttachExisting(uint16_t pool_id) {
+  PoolHeader* h = header();
+  if (h->magic != kPoolMagic || h->pool_id != pool_id || h->size > size_) {
+    return false;
+  }
+  pool_id_ = pool_id;
+  SetPoolBase(pool_id_, base_);
+  RegisterPoolRange(base_, size_, pool_id_);
+  RegisterPoolAllocator(pool_id_, this);
+  h->generation++;
+  PersistFence(&h->generation, sizeof(h->generation));
+  RecoverLogs();
+  RebuildVolatileState();
+  return true;
+}
+
+PmemPool::~PmemPool() {
+  if (base_ != nullptr) {
+    RegisterPoolAllocator(pool_id_, nullptr);
+    UnregisterPoolRange(base_);
+    SetPoolBase(pool_id_, nullptr);
+  }
+  if (dram_base_ != nullptr) {
+    ::munmap(dram_base_, size_);
+  }
+}
+
+AllocLogSlot* PmemPool::Logs() const {
+  return reinterpret_cast<AllocLogSlot*>(static_cast<char*>(base_) + header()->log_off);
+}
+
+uint32_t* PmemPool::ChunkStates() const {
+  return reinterpret_cast<uint32_t*>(static_cast<char*>(base_) + header()->chunk_meta_off);
+}
+
+uint64_t* PmemPool::BitmapOf(uint32_t chunk) const {
+  return reinterpret_cast<uint64_t*>(static_cast<char*>(base_) + header()->bitmap_off) +
+         static_cast<size_t>(chunk) * kBitmapWordsPerChunk;
+}
+
+uint64_t PmemPool::ChunkDataOffset(uint32_t chunk) const {
+  return header()->data_off + static_cast<uint64_t>(chunk) * kChunkSize;
+}
+
+// ---------------------------------------------------------------------------
+// Volatile state reconstruction & log recovery
+// ---------------------------------------------------------------------------
+
+void PmemPool::RebuildVolatileState() {
+  PoolHeader* h = header();
+  std::lock_guard<std::mutex> lock(mu_);
+  free_chunks_.clear();
+  free_counts_ = std::vector<std::atomic<uint32_t>>(h->chunk_count);
+  in_partial_ = std::vector<std::atomic<uint8_t>>(h->chunk_count);
+  log_busy_ = std::vector<std::atomic<uint8_t>>(h->log_slots);
+  for (auto& c : classes_) {
+    c.current.store(-1, std::memory_order_relaxed);
+    c.hint.store(0, std::memory_order_relaxed);
+    c.partial.clear();
+  }
+  uint32_t* states = ChunkStates();
+  for (uint32_t i = 0; i < h->chunk_count; ++i) {
+    uint32_t st = states[i];
+    if (st == kChunkStateFree) {
+      free_chunks_.push_back(i);
+      continue;
+    }
+    if (st == kChunkStateWhole || st > kNumClasses) {
+      // Whole-chunk allocation (or continuation marker): occupied iff bit 0.
+      free_counts_[i].store(0, std::memory_order_relaxed);
+      continue;
+    }
+    size_t class_idx = st - 1;
+    uint32_t blocks = static_cast<uint32_t>(kChunkSize / kSizeClasses[class_idx]);
+    uint64_t* bm = BitmapOf(i);
+    uint32_t used = 0;
+    for (uint32_t w = 0; w < (blocks + 63) / 64; ++w) {
+      used += static_cast<uint32_t>(__builtin_popcountll(bm[w]));
+    }
+    free_counts_[i].store(blocks - used, std::memory_order_relaxed);
+    if (used == 0) {
+      // Empty assigned chunk: make it reusable for any class.
+      states[i] = kChunkStateFree;
+      PersistFence(&states[i], sizeof(uint32_t));
+      free_chunks_.push_back(i);
+    } else if (used < blocks) {
+      classes_[class_idx].partial.push_back(i);
+      in_partial_[i].store(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void PmemPool::RecoverLogs() {
+  PoolHeader* h = header();
+  AllocLogSlot* logs = Logs();
+  for (uint32_t i = 0; i < h->log_slots; ++i) {
+    AllocLogSlot& s = logs[i];
+    if (s.state == kLogEmpty) {
+      continue;
+    }
+    if (s.state == kLogAllocPending) {
+      PPtr<uint64_t> dest(s.dest);
+      PPtr<void> block(s.block);
+      if (!block.IsNull()) {
+        bool attached = !dest.IsNull() && *dest.get() == s.block;
+        if (!attached) {
+          // Roll back: release the block.
+          FreeInternal(block.offset(), /*log=*/false);
+        }
+      }
+    } else if (s.state == kLogFreePending) {
+      PPtr<void> block(s.block);
+      if (!block.IsNull()) {
+        FreeInternal(block.offset(), /*log=*/false);  // idempotent bit clear
+      }
+    }
+    s.state = kLogEmpty;
+    PersistFence(&s.state, sizeof(s.state));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Allocation
+// ---------------------------------------------------------------------------
+
+int PmemPool::AcquireLogSlot() {
+  size_t n = log_busy_.size();
+  static thread_local uint32_t start = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t idx = (start + i) % n;
+    uint8_t expected = 0;
+    if (log_busy_[idx].compare_exchange_strong(expected, 1, std::memory_order_acquire)) {
+      start = static_cast<uint32_t>(idx + 1);
+      return static_cast<int>(idx);
+    }
+  }
+  return -1;
+}
+
+void PmemPool::ReleaseLogSlot(int slot) {
+  log_busy_[slot].store(0, std::memory_order_release);
+}
+
+uint64_t PmemPool::TryAllocInChunk(uint32_t chunk, size_t class_idx) {
+  size_t block_size = kSizeClasses[class_idx];
+  uint32_t blocks = static_cast<uint32_t>(kChunkSize / block_size);
+  uint32_t words = (blocks + 63) / 64;
+  uint64_t* bm = BitmapOf(chunk);
+  uint32_t start_word = classes_[class_idx].hint.load(std::memory_order_relaxed) % words;
+  for (uint32_t i = 0; i < words; ++i) {
+    uint32_t w = (start_word + i) % words;
+    uint64_t cur = AtomicRef64(&bm[w]).load(std::memory_order_relaxed);
+    while (true) {
+      uint64_t valid_mask = (w == words - 1 && blocks % 64 != 0)
+                                ? ((1ULL << (blocks % 64)) - 1)
+                                : ~0ULL;
+      uint64_t free_bits = ~cur & valid_mask;
+      if (free_bits == 0) {
+        break;
+      }
+      int bit = __builtin_ctzll(free_bits);
+      uint64_t want = cur | (1ULL << bit);
+      if (AtomicRef64(&bm[w]).compare_exchange_weak(cur, want, std::memory_order_acq_rel)) {
+        if (crash_consistent_) {
+          PersistFence(&bm[w], sizeof(uint64_t));
+        }
+        classes_[class_idx].hint.store(w, std::memory_order_relaxed);
+        free_counts_[chunk].fetch_sub(1, std::memory_order_relaxed);
+        uint32_t block_idx = w * 64 + static_cast<uint32_t>(bit);
+        return ChunkDataOffset(chunk) + static_cast<uint64_t>(block_idx) * block_size;
+      }
+      // CAS failed: cur reloaded, retry this word.
+    }
+  }
+  return 0;
+}
+
+int PmemPool::AcquireChunk(size_t class_idx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClassState& cs = classes_[class_idx];
+  // Prefer partially-filled chunks of this class.
+  while (!cs.partial.empty()) {
+    uint32_t c = cs.partial.back();
+    cs.partial.pop_back();
+    in_partial_[c].store(0, std::memory_order_relaxed);
+    if (free_counts_[c].load(std::memory_order_relaxed) > 0) {
+      cs.current.store(c, std::memory_order_release);
+      cs.hint.store(0, std::memory_order_relaxed);
+      return static_cast<int>(c);
+    }
+  }
+  if (free_chunks_.empty()) {
+    return -1;
+  }
+  uint32_t c = free_chunks_.back();
+  free_chunks_.pop_back();
+  uint32_t* states = ChunkStates();
+  states[c] = static_cast<uint32_t>(class_idx) + 1;
+  if (crash_consistent_) {
+    PersistFence(&states[c], sizeof(uint32_t));
+  }
+  uint32_t blocks = static_cast<uint32_t>(kChunkSize / kSizeClasses[class_idx]);
+  free_counts_[c].store(blocks, std::memory_order_relaxed);
+  cs.current.store(c, std::memory_order_release);
+  cs.hint.store(0, std::memory_order_relaxed);
+  return static_cast<int>(c);
+}
+
+uint64_t PmemPool::AllocWholeChunks(size_t size) {
+  uint32_t span = static_cast<uint32_t>((size + kChunkSize - 1) / kChunkSize);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_chunks_.size() < span) {
+    return 0;
+  }
+  // Contiguity is only required within the span; find a run among free chunks.
+  // Free list is unordered, so scan the persistent states directly.
+  uint32_t* states = ChunkStates();
+  uint32_t count = header()->chunk_count;
+  for (uint32_t start = 0; start + span <= count; ++start) {
+    bool ok = true;
+    for (uint32_t i = 0; i < span; ++i) {
+      if (states[start + i] != kChunkStateFree) {
+        ok = false;
+        start += i;  // skip past the blocker
+        break;
+      }
+    }
+    if (!ok) {
+      continue;
+    }
+    for (uint32_t i = 0; i < span; ++i) {
+      states[start + i] = kChunkStateWhole;
+      free_counts_[start + i].store(0, std::memory_order_relaxed);
+    }
+    // Mark bit 0 of the head chunk's bitmap: "whole allocation present".
+    uint64_t* bm = BitmapOf(start);
+    bm[0] = 1;
+    // Record the span in the head bitmap's second word for BlockSize/Free.
+    bm[1] = span;
+    if (crash_consistent_) {
+      PersistRange(bm, 2 * sizeof(uint64_t));
+      PersistFence(states + start, span * sizeof(uint32_t));
+    }
+    // Rebuild the free list without the taken chunks.
+    std::vector<uint32_t> rest;
+    rest.reserve(free_chunks_.size());
+    for (uint32_t c : free_chunks_) {
+      if (c < start || c >= start + span) {
+        rest.push_back(c);
+      }
+    }
+    free_chunks_.swap(rest);
+    return ChunkDataOffset(start);
+  }
+  return 0;
+}
+
+uint64_t PmemPool::AllocOffset(size_t size) {
+  if (size == 0) {
+    size = 1;
+  }
+  size_t class_idx = SizeClassFor(size);
+  if (class_idx == kNumClasses) {
+    return AllocWholeChunks(size);
+  }
+  ClassState& cs = classes_[class_idx];
+  for (int attempts = 0; attempts < 1024; ++attempts) {
+    int64_t chunk = cs.current.load(std::memory_order_acquire);
+    if (chunk >= 0) {
+      uint64_t off = TryAllocInChunk(static_cast<uint32_t>(chunk), class_idx);
+      if (off != 0) {
+        return off;
+      }
+    }
+    int fresh = AcquireChunk(class_idx);
+    if (fresh < 0) {
+      return 0;  // pool exhausted
+    }
+  }
+  return 0;
+}
+
+PPtr<void> PmemPool::Alloc(size_t size) {
+  uint64_t off = AllocOffset(size);
+  if (off == 0) {
+    return PPtr<void>::Null();
+  }
+  void* p = static_cast<char*>(base_) + off;
+  std::memset(p, 0, size <= kSizeClasses[kNumClasses - 1] ? kSizeClasses[SizeClassFor(size)]
+                                                          : size);
+  allocs_.fetch_add(1, std::memory_order_relaxed);
+  live_bytes_.fetch_add(BlockSize(off), std::memory_order_relaxed);
+  LocalNvmCounters().alloc_ops++;
+  return PPtr<void>::FromParts(pool_id_, off);
+}
+
+PPtr<void> PmemPool::AllocTo(PPtr<uint64_t> dest, size_t size) {
+  if (!crash_consistent_) {
+    // Transient mode: plain allocate + store (Figure 3's Jemalloc arm).
+    PPtr<void> block = Alloc(size);
+    if (!block.IsNull() && !dest.IsNull()) {
+      *dest.get() = block.raw;
+    }
+    return block;
+  }
+  int slot_idx = AcquireLogSlot();
+  if (slot_idx < 0) {
+    return PPtr<void>::Null();
+  }
+  AllocLogSlot& slot = Logs()[slot_idx];
+  // (1) publish intent
+  slot.dest = dest.raw;
+  slot.block = 0;
+  slot.size = size;
+  PersistRange(&slot, sizeof(slot));
+  slot.state = kLogAllocPending;
+  PersistFence(&slot, sizeof(slot));
+  // (2) take a block (bitmap word persisted inside)
+  PPtr<void> block = Alloc(size);
+  if (block.IsNull()) {
+    slot.state = kLogEmpty;
+    PersistFence(&slot.state, sizeof(slot.state));
+    ReleaseLogSlot(slot_idx);
+    return block;
+  }
+  // (3) record the block in the log -- from here the block cannot leak
+  slot.block = block.raw;
+  PersistFence(&slot.block, sizeof(slot.block));
+  // (4) attach to the destination word
+  if (!dest.IsNull()) {
+    std::atomic_ref<uint64_t>(*dest.get()).store(block.raw, std::memory_order_release);
+    PersistFence(dest.get(), sizeof(uint64_t));
+  }
+  // (5) retire the log entry
+  slot.state = kLogEmpty;
+  PersistFence(&slot.state, sizeof(slot.state));
+  ReleaseLogSlot(slot_idx);
+  return block;
+}
+
+// ---------------------------------------------------------------------------
+// Free
+// ---------------------------------------------------------------------------
+
+size_t PmemPool::BlockSize(uint64_t offset) const {
+  const PoolHeader* h = header();
+  if (offset < h->data_off) {
+    return 0;
+  }
+  uint32_t chunk = static_cast<uint32_t>((offset - h->data_off) / kChunkSize);
+  uint32_t st = ChunkStates()[chunk];
+  if (st == kChunkStateWhole) {
+    return BitmapOf(chunk)[1] * kChunkSize;
+  }
+  if (st == kChunkStateFree || st > kNumClasses) {
+    return 0;
+  }
+  return kSizeClasses[st - 1];
+}
+
+void PmemPool::FreeInternal(uint64_t offset, bool log) {
+  PoolHeader* h = header();
+  if (offset < h->data_off || offset >= h->data_off + uint64_t{h->chunk_count} * kChunkSize) {
+    return;
+  }
+  uint32_t chunk = static_cast<uint32_t>((offset - h->data_off) / kChunkSize);
+  uint32_t* states = ChunkStates();
+  uint32_t st = states[chunk];
+  if (st == kChunkStateFree) {
+    return;
+  }
+
+  int slot_idx = -1;
+  if (log && crash_consistent_) {
+    slot_idx = AcquireLogSlot();
+    if (slot_idx >= 0) {
+      AllocLogSlot& slot = Logs()[slot_idx];
+      slot.dest = 0;
+      slot.block = PPtr<void>::FromParts(pool_id_, offset).raw;
+      slot.size = 0;
+      PersistRange(&slot, sizeof(slot));
+      slot.state = kLogFreePending;
+      PersistFence(&slot, sizeof(slot));
+    }
+  }
+
+  if (st == kChunkStateWhole) {
+    uint64_t* bm = BitmapOf(chunk);
+    uint32_t span = static_cast<uint32_t>(bm[1]);
+    bm[0] = 0;
+    if (crash_consistent_) {
+      PersistFence(&bm[0], sizeof(uint64_t));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint32_t i = 0; i < span; ++i) {
+      states[chunk + i] = kChunkStateFree;
+      free_chunks_.push_back(chunk + i);
+    }
+    if (crash_consistent_) {
+      PersistFence(states + chunk, span * sizeof(uint32_t));
+    }
+  } else if (st <= kNumClasses && st > 0) {
+    size_t class_idx = st - 1;
+    size_t block_size = kSizeClasses[class_idx];
+    uint32_t block_idx =
+        static_cast<uint32_t>((offset - h->data_off - uint64_t{chunk} * kChunkSize) /
+                              block_size);
+    uint64_t* bm = BitmapOf(chunk);
+    uint32_t w = block_idx / 64;
+    uint64_t mask = 1ULL << (block_idx % 64);
+    uint64_t prev = AtomicRef64(&bm[w]).fetch_and(~mask, std::memory_order_acq_rel);
+    if (crash_consistent_) {
+      PersistFence(&bm[w], sizeof(uint64_t));
+    }
+    if ((prev & mask) != 0 && !free_counts_.empty()) {
+      free_counts_[chunk].fetch_add(1, std::memory_order_relaxed);
+      // Put the chunk on its class's partial list so the space is found again.
+      if (classes_[class_idx].current.load(std::memory_order_relaxed) !=
+              static_cast<int64_t>(chunk) &&
+          !in_partial_[chunk].exchange(1, std::memory_order_acq_rel)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        classes_[class_idx].partial.push_back(chunk);
+      }
+    }
+  }
+
+  if (slot_idx >= 0) {
+    AllocLogSlot& slot = Logs()[slot_idx];
+    slot.state = kLogEmpty;
+    PersistFence(&slot.state, sizeof(slot.state));
+    ReleaseLogSlot(slot_idx);
+  }
+}
+
+void PmemPool::Free(uint64_t offset) {
+  uint64_t bytes = BlockSize(offset);
+  FreeInternal(offset, /*log=*/true);
+  frees_.fetch_add(1, std::memory_order_relaxed);
+  live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  LocalNvmCounters().free_ops++;
+}
+
+PmemPoolStats PmemPool::Stats() const {
+  PmemPoolStats s;
+  s.allocs = allocs_.load(std::memory_order_relaxed);
+  s.frees = frees_.load(std::memory_order_relaxed);
+  s.live_bytes = live_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PmemFree(PPtr<void> p) {
+  if (p.IsNull()) {
+    return;
+  }
+  PmemPool* pool = PoolAllocatorOf(p.pool());
+  if (pool != nullptr) {
+    pool->Free(p.offset());
+  }
+}
+
+}  // namespace pactree

@@ -1,0 +1,65 @@
+// Compact persistent pointer (paper §5.8): 16-bit pool id + 48-bit offset.
+//
+// Pool base addresses live in a process-global table initialized when a pool is
+// mapped, so persistent pointers are position independent: a pool image can be
+// remapped anywhere (or copied, as the crash tests do) and pointers still resolve.
+#ifndef PACTREE_SRC_PMEM_PPTR_H_
+#define PACTREE_SRC_PMEM_PPTR_H_
+
+#include <cstdint>
+#include <type_traits>
+
+namespace pactree {
+
+// Base-address table; readable lock-free from hot paths.
+void SetPoolBase(uint16_t pool_id, void* base);
+void* GetPoolBase(uint16_t pool_id);
+
+template <typename T>
+struct PPtr {
+  uint64_t raw = 0;
+
+  PPtr() = default;
+  explicit PPtr(uint64_t r) : raw(r) {}
+
+  static PPtr FromParts(uint16_t pool, uint64_t offset) {
+    return PPtr((static_cast<uint64_t>(pool) << 48) | (offset & ((1ULL << 48) - 1)));
+  }
+  static PPtr Null() { return PPtr(); }
+
+  uint16_t pool() const { return static_cast<uint16_t>(raw >> 48); }
+  uint64_t offset() const { return raw & ((1ULL << 48) - 1); }
+  bool IsNull() const { return raw == 0; }
+  explicit operator bool() const { return raw != 0; }
+
+  T* get() const {
+    if (raw == 0) {
+      return nullptr;
+    }
+    return reinterpret_cast<T*>(static_cast<char*>(GetPoolBase(pool())) + offset());
+  }
+  T* operator->() const { return get(); }
+  template <typename U = T>
+  std::enable_if_t<!std::is_void_v<U>, U&> operator*() const {
+    return *get();
+  }
+
+  bool operator==(const PPtr& o) const { return raw == o.raw; }
+  bool operator!=(const PPtr& o) const { return raw != o.raw; }
+
+  template <typename U>
+  PPtr<U> Cast() const {
+    return PPtr<U>(raw);
+  }
+};
+
+static_assert(sizeof(PPtr<int>) == 8, "PPtr must be one atomic word");
+
+// Reverse translation: raw pointer inside a mapped pool -> persistent pointer.
+// Declared here, implemented over the pmem pool registry.
+template <typename T>
+PPtr<T> ToPPtr(const T* p);
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_PMEM_PPTR_H_

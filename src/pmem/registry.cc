@@ -1,0 +1,81 @@
+#include "src/pmem/registry.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace pactree {
+namespace {
+
+constexpr size_t kMaxPools = 1 << 16;
+void* g_pool_bases[kMaxPools] = {};
+PmemPool* g_pool_allocs[kMaxPools] = {};
+
+struct PoolRange {
+  uintptr_t base = 0;
+  size_t size = 0;
+  uint16_t pool_id = 0;
+  bool active = false;
+};
+
+constexpr size_t kMaxRanges = 512;
+PoolRange g_ranges[kMaxRanges];
+std::atomic<size_t> g_range_count{0};
+std::mutex g_mu;
+
+}  // namespace
+
+void SetPoolBase(uint16_t pool_id, void* base) { g_pool_bases[pool_id] = base; }
+
+void* GetPoolBase(uint16_t pool_id) { return g_pool_bases[pool_id]; }
+
+void RegisterPoolRange(void* base, size_t size, uint16_t pool_id) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  size_t n = g_range_count.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    if (!g_ranges[i].active) {
+      g_ranges[i] = {reinterpret_cast<uintptr_t>(base), size, pool_id, false};
+      std::atomic_thread_fence(std::memory_order_release);
+      g_ranges[i].active = true;
+      return;
+    }
+  }
+  if (n >= kMaxRanges) {
+    return;
+  }
+  g_ranges[n] = {reinterpret_cast<uintptr_t>(base), size, pool_id, true};
+  g_range_count.store(n + 1, std::memory_order_release);
+}
+
+void UnregisterPoolRange(void* base) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  size_t n = g_range_count.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    if (g_ranges[i].base == reinterpret_cast<uintptr_t>(base)) {
+      g_ranges[i].active = false;
+      return;
+    }
+  }
+}
+
+uint16_t PoolIdOf(const void* p, uint64_t* offset_out) {
+  uintptr_t addr = reinterpret_cast<uintptr_t>(p);
+  size_t n = g_range_count.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    const PoolRange& r = g_ranges[i];
+    if (r.active && addr >= r.base && addr < r.base + r.size) {
+      if (offset_out != nullptr) {
+        *offset_out = addr - r.base;
+      }
+      return r.pool_id;
+    }
+  }
+  return 0;
+}
+
+void RegisterPoolAllocator(uint16_t pool_id, PmemPool* alloc) {
+  g_pool_allocs[pool_id] = alloc;
+}
+
+PmemPool* PoolAllocatorOf(uint16_t pool_id) { return g_pool_allocs[pool_id]; }
+
+}  // namespace pactree

@@ -1,0 +1,40 @@
+// Process-global registries for persistent pools:
+//   * pool id -> mapped base address (PPtr decode),
+//   * address range -> pool id (raw pointer -> PPtr encode),
+//   * pool id -> allocator (so Free() can route a PPtr to its owning pool).
+#ifndef PACTREE_SRC_PMEM_REGISTRY_H_
+#define PACTREE_SRC_PMEM_REGISTRY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/pmem/pptr.h"
+
+namespace pactree {
+
+class PmemPool;
+
+// Registers a mapped pool range for reverse translation (includes DRAM-backed
+// pools, which are not part of the NVM media model).
+void RegisterPoolRange(void* base, size_t size, uint16_t pool_id);
+void UnregisterPoolRange(void* base);
+
+// Returns the pool id containing p, or 0 if none.
+uint16_t PoolIdOf(const void* p, uint64_t* offset_out);
+
+void RegisterPoolAllocator(uint16_t pool_id, PmemPool* alloc);
+PmemPool* PoolAllocatorOf(uint16_t pool_id);
+
+template <typename T>
+PPtr<T> ToPPtr(const T* p) {
+  if (p == nullptr) {
+    return PPtr<T>::Null();
+  }
+  uint64_t offset = 0;
+  uint16_t pool = PoolIdOf(p, &offset);
+  return pool == 0 ? PPtr<T>::Null() : PPtr<T>::FromParts(pool, offset);
+}
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_PMEM_REGISTRY_H_

@@ -1,0 +1,264 @@
+#include "src/pmwcas/pmwcas.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/common/compiler.h"
+#include "src/nvm/persist.h"
+#include "src/pmem/registry.h"
+#include "src/sync/epoch.h"
+
+namespace pactree {
+namespace {
+
+inline std::atomic_ref<uint64_t> Word(uint64_t* p) { return std::atomic_ref<uint64_t>(*p); }
+
+}  // namespace
+
+PmwcasPool::PmwcasPool(PmemHeap* heap, uint64_t* anchor_raw, size_t capacity)
+    : heap_(heap), capacity_(capacity) {
+  busy_ = std::make_unique<std::atomic<uint8_t>[]>(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    busy_[i].store(0, std::memory_order_relaxed);
+  }
+  if (*anchor_raw != 0) {
+    descs_raw_ = *anchor_raw;
+    descs_ = PPtr<PmwcasDescriptor>(descs_raw_).get();
+    return;
+  }
+  PPtr<void> block =
+      heap->AllocTo(ToPPtr(anchor_raw), capacity * sizeof(PmwcasDescriptor));
+  assert(!block.IsNull());
+  descs_raw_ = block.raw;
+  descs_ = static_cast<PmwcasDescriptor*>(block.get());
+  std::memset(descs_, 0, capacity * sizeof(PmwcasDescriptor));
+  PersistFence(descs_, capacity * sizeof(PmwcasDescriptor));
+}
+
+PmwcasPool::~PmwcasPool() {
+  // Pending Release() callbacks reference this pool; flush them while the
+  // descriptors are still mapped.
+  EpochManager::Instance().DrainAll();
+}
+
+uint64_t PmwcasPool::DescRaw(PmwcasDescriptor* desc) const {
+  uint64_t idx = static_cast<uint64_t>(desc - descs_);
+  return (descs_raw_ + idx * sizeof(PmwcasDescriptor)) | kPmwcasDescriptorFlag;
+}
+
+PmwcasDescriptor* PmwcasPool::DescOf(uint64_t word) const {
+  uint64_t raw = word & ~(kPmwcasDescriptorFlag | kPmwcasDirtyFlag);
+  return PPtr<PmwcasDescriptor>(raw).get();
+}
+
+PmwcasDescriptor* PmwcasPool::Acquire() {
+  thread_local uint32_t start = 0;
+  for (size_t i = 0; i < capacity_; ++i) {
+    size_t idx = (start + i) % capacity_;
+    uint8_t expected = 0;
+    if (busy_[idx].compare_exchange_strong(expected, 1, std::memory_order_acquire)) {
+      start = static_cast<uint32_t>(idx + 1);
+      return &descs_[idx];
+    }
+  }
+  return nullptr;
+}
+
+void PmwcasPool::Release(PmwcasDescriptor* desc) {
+  // Descriptors are recycled only after two epochs: a helper that read the
+  // raw descriptor pointer from a target word must never observe the slot
+  // being refilled for a different operation (ABA). Callers run inside an
+  // EpochGuard, so the grace period covers them.
+  struct Pending {
+    PmwcasPool* pool;
+    PmwcasDescriptor* desc;
+  };
+  auto* p = new Pending{this, desc};
+  EpochManager::Instance().Retire(
+      PPtr<void>::Null(),
+      [](void* arg) {
+        auto* pending = static_cast<Pending*>(arg);
+        PmwcasDescriptor* d = pending->desc;
+        d->count = 0;
+        std::atomic_ref<uint64_t>(d->status).store(kPmwcasUndecided,
+                                                   std::memory_order_release);
+        PersistFence(d, sizeof(uint64_t) + sizeof(uint32_t));
+        pending->pool->busy_[d - pending->pool->descs_].store(0,
+                                                              std::memory_order_release);
+        delete pending;
+      },
+      p);
+}
+
+bool PmwcasPool::Run(const PmwcasWordEntry* entries, uint32_t count, bool* exhausted) {
+  if (exhausted != nullptr) {
+    *exhausted = false;
+  }
+  assert(count <= kPmwcasMaxWords);
+  // Keep the descriptor pool healthy: reclamation otherwise only happens when
+  // some caller happens to advance the epoch.
+  thread_local uint32_t run_counter = 0;
+  if ((++run_counter & 127) == 0) {
+    EpochManager::Instance().TryAdvanceAndReclaim();
+  }
+  PmwcasDescriptor* desc = Acquire();
+  for (int tries = 0; desc == nullptr && tries < 64; ++tries) {
+    // Pool exhausted: retired descriptors are waiting out their grace period.
+    EpochManager::Instance().TryAdvanceAndReclaim();
+    CpuRelax();
+    desc = Acquire();
+  }
+  if (desc == nullptr) {
+    if (exhausted != nullptr) {
+      *exhausted = true;
+    }
+    return false;  // caller must drop its epoch guard and retry
+  }
+  // Fill + persist the descriptor, sorted by address to avoid helping cycles.
+  std::memcpy(desc->words, entries, count * sizeof(PmwcasWordEntry));
+  std::sort(desc->words, desc->words + count,
+            [](const PmwcasWordEntry& a, const PmwcasWordEntry& b) {
+              return a.addr_raw < b.addr_raw;
+            });
+  desc->count = count;
+  desc->status = kPmwcasUndecided;
+  PersistFence(desc, sizeof(PmwcasDescriptor));
+
+  Complete(desc);
+
+  uint64_t st = Word(&desc->status).load(std::memory_order_acquire) & ~kPmwcasDirtyFlag;
+  bool ok = st == kPmwcasSucceeded;
+  (ok ? succeeded_ : failed_).fetch_add(1, std::memory_order_relaxed);
+  Release(desc);
+  return ok;
+}
+
+void PmwcasPool::Complete(PmwcasDescriptor* desc) {
+  uint64_t desc_word = DescRaw(desc) | kPmwcasDirtyFlag;
+  uint32_t count = desc->count;
+
+  // ---- phase 1: install the descriptor into every target word ----
+  uint64_t decided = kPmwcasSucceeded;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t st = Word(&desc->status).load(std::memory_order_acquire) & ~kPmwcasDirtyFlag;
+    if (st != kPmwcasUndecided) {
+      decided = st;  // another helper already decided
+      break;
+    }
+    uint64_t* addr = PPtr<uint64_t>(desc->words[i].addr_raw).get();
+    while (true) {
+      uint64_t cur = Word(addr).load(std::memory_order_acquire);
+      if ((cur & ~kPmwcasDirtyFlag) == (desc_word & ~kPmwcasDirtyFlag)) {
+        break;  // already installed (by a helper)
+      }
+      if ((cur & kPmwcasDescriptorFlag) != 0) {
+        // Another PMwCAS is mid-flight here: help it first, then retry.
+        PmwcasDescriptor* other = DescOf(cur);
+        if (other != desc) {
+          Complete(other);
+          continue;
+        }
+        break;
+      }
+      if ((cur & kPmwcasDirtyFlag) != 0) {
+        PersistFence(addr, sizeof(uint64_t));
+        Word(addr).compare_exchange_strong(cur, cur & ~kPmwcasDirtyFlag,
+                                           std::memory_order_acq_rel);
+        continue;
+      }
+      if (cur != desc->words[i].old_val) {
+        decided = kPmwcasFailed;
+        break;
+      }
+      if (Word(addr).compare_exchange_weak(cur, desc_word, std::memory_order_acq_rel)) {
+        // Persist the installation before the status may flip (dirty protocol).
+        PersistFence(addr, sizeof(uint64_t));
+        Word(addr).compare_exchange_strong(desc_word, desc_word & ~kPmwcasDirtyFlag,
+                                           std::memory_order_acq_rel);
+        desc_word |= kPmwcasDirtyFlag;  // restore for the next word's install
+        break;
+      }
+    }
+    if (decided == kPmwcasFailed) {
+      break;
+    }
+  }
+
+  // ---- phase 2: decide ----
+  uint64_t expected = kPmwcasUndecided;
+  Word(&desc->status)
+      .compare_exchange_strong(expected, decided | kPmwcasDirtyFlag,
+                               std::memory_order_acq_rel);
+  PersistFence(&desc->status, sizeof(uint64_t));
+  uint64_t st = Word(&desc->status).load(std::memory_order_acquire);
+  if ((st & kPmwcasDirtyFlag) != 0) {
+    Word(&desc->status)
+        .compare_exchange_strong(st, st & ~kPmwcasDirtyFlag, std::memory_order_acq_rel);
+  }
+  uint64_t final_status = Word(&desc->status).load(std::memory_order_acquire) &
+                          ~kPmwcasDirtyFlag;
+
+  // ---- phase 3: detach ----
+  uint64_t installed = DescRaw(desc);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t* addr = PPtr<uint64_t>(desc->words[i].addr_raw).get();
+    uint64_t target = (final_status == kPmwcasSucceeded ? desc->words[i].new_val
+                                                        : desc->words[i].old_val) |
+                      kPmwcasDirtyFlag;
+    uint64_t cur = Word(addr).load(std::memory_order_acquire);
+    if ((cur & ~kPmwcasDirtyFlag) == installed) {
+      if (Word(addr).compare_exchange_strong(cur, target, std::memory_order_acq_rel)) {
+        PersistFence(addr, sizeof(uint64_t));
+        Word(addr).compare_exchange_strong(target, target & ~kPmwcasDirtyFlag,
+                                           std::memory_order_acq_rel);
+      }
+    }
+  }
+}
+
+uint64_t PmwcasPool::ReadWord(uint64_t* addr) {
+  while (true) {
+    uint64_t cur = Word(addr).load(std::memory_order_acquire);
+    if ((cur & kPmwcasDescriptorFlag) != 0) {
+      Complete(DescOf(cur));
+      continue;
+    }
+    if ((cur & kPmwcasDirtyFlag) != 0) {
+      PersistFence(addr, sizeof(uint64_t));
+      Word(addr).compare_exchange_strong(cur, cur & ~kPmwcasDirtyFlag,
+                                         std::memory_order_acq_rel);
+      continue;
+    }
+    return cur;
+  }
+}
+
+void PmwcasPool::Recover() {
+  for (size_t i = 0; i < capacity_; ++i) {
+    PmwcasDescriptor* desc = &descs_[i];
+    if (desc->count == 0) {
+      continue;
+    }
+    uint64_t st = desc->status & ~kPmwcasDirtyFlag;
+    uint64_t installed = DescRaw(desc);
+    // Undecided rolls back; succeeded rolls forward.
+    for (uint32_t w = 0; w < desc->count; ++w) {
+      uint64_t* addr = PPtr<uint64_t>(desc->words[w].addr_raw).get();
+      uint64_t cur = *addr & ~kPmwcasDirtyFlag;
+      if (cur == (installed & ~kPmwcasDirtyFlag)) {
+        *addr = st == kPmwcasSucceeded ? desc->words[w].new_val
+                                       : desc->words[w].old_val;
+        PersistFence(addr, sizeof(uint64_t));
+      } else if ((*addr & kPmwcasDirtyFlag) != 0) {
+        *addr = cur;
+        PersistFence(addr, sizeof(uint64_t));
+      }
+    }
+    desc->count = 0;
+    desc->status = kPmwcasUndecided;
+    PersistFence(desc, sizeof(uint64_t) + sizeof(uint32_t));
+  }
+}
+
+}  // namespace pactree

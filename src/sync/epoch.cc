@@ -1,0 +1,129 @@
+#include "src/sync/epoch.h"
+
+#include "src/common/compiler.h"
+#include "src/pmem/pool.h"
+
+namespace pactree {
+namespace {
+
+class SpinGuard {
+ public:
+  explicit SpinGuard(std::atomic_flag& flag) : flag_(flag) {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      CpuRelax();
+    }
+  }
+  ~SpinGuard() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag& flag_;
+};
+
+}  // namespace
+
+EpochManager& EpochManager::Instance() {
+  static EpochManager mgr;
+  return mgr;
+}
+
+EpochManager::ThreadRecord* EpochManager::LocalRecord() {
+  thread_local ThreadRecord* rec = [this] {
+    auto* r = new ThreadRecord();
+    SpinGuard guard(records_lock_);
+    records_.push_back(r);
+    record_count_.store(records_.size(), std::memory_order_release);
+    return r;
+  }();
+  return rec;
+}
+
+void EpochManager::Enter() {
+  ThreadRecord* rec = LocalRecord();
+  if (rec->nesting.fetch_add(1, std::memory_order_relaxed) == 0) {
+    uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    rec->active_epoch.store(e + 1, std::memory_order_release);
+    // Re-read to close the race where the epoch advanced between load/store.
+    uint64_t e2 = global_epoch_.load(std::memory_order_acquire);
+    if (e2 != e) {
+      rec->active_epoch.store(e2 + 1, std::memory_order_release);
+    }
+  }
+}
+
+void EpochManager::Exit() {
+  ThreadRecord* rec = LocalRecord();
+  if (rec->nesting.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    rec->active_epoch.store(0, std::memory_order_release);
+  }
+}
+
+void EpochManager::Retire(PPtr<void> block, void (*fn)(void*), void* arg) {
+  uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  {
+    SpinGuard guard(retired_lock_);
+    retired_.push_back({e, block, fn, arg});
+  }
+  retired_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t EpochManager::MinActiveEpoch() {
+  uint64_t min_e = ~uint64_t{0};
+  SpinGuard guard(records_lock_);
+  for (ThreadRecord* r : records_) {
+    uint64_t a = r->active_epoch.load(std::memory_order_acquire);
+    if (a != 0 && a - 1 < min_e) {
+      min_e = a - 1;
+    }
+  }
+  return min_e;
+}
+
+void EpochManager::TryAdvanceAndReclaim() {
+  uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  uint64_t min_active = MinActiveEpoch();
+  if (min_active == ~uint64_t{0} || min_active >= e) {
+    global_epoch_.compare_exchange_strong(e, e + 1, std::memory_order_acq_rel);
+  }
+  // Everything retired at epoch <= current-2 is unreachable: one epoch flushes
+  // new references, a second flushes in-flight readers (§5.6).
+  uint64_t reclaim_before = global_epoch_.load(std::memory_order_acquire);
+  uint64_t min_now = MinActiveEpoch();
+  if (min_now != ~uint64_t{0} && min_now < reclaim_before) {
+    reclaim_before = min_now;
+  }
+  if (reclaim_before >= 2) {
+    ReclaimUpTo(reclaim_before - 2);
+  }
+}
+
+void EpochManager::ReclaimUpTo(uint64_t epoch) {
+  std::vector<Retired> ready;
+  {
+    SpinGuard guard(retired_lock_);
+    size_t kept = 0;
+    for (size_t i = 0; i < retired_.size(); ++i) {
+      if (retired_[i].epoch <= epoch) {
+        ready.push_back(retired_[i]);
+      } else {
+        retired_[kept++] = retired_[i];
+      }
+    }
+    retired_.resize(kept);
+  }
+  for (const Retired& r : ready) {
+    if (r.fn != nullptr) {
+      r.fn(r.arg);
+    }
+    if (!r.block.IsNull()) {
+      PmemFree(r.block);
+    }
+    retired_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void EpochManager::DrainAll() {
+  global_epoch_.fetch_add(4, std::memory_order_acq_rel);
+  ReclaimUpTo(~uint64_t{0});
+}
+
+}  // namespace pactree

@@ -1,0 +1,83 @@
+// Epoch-based memory reclamation (paper §5.6).
+//
+// PACTree frees a merged data node only after two epochs: the first guarantees
+// no new references can be created from the search layer, the second that every
+// reference created before then has finished. Threads wrap index operations in
+// an EpochGuard; retiring hands a block (plus optional callback) to the manager.
+#ifndef PACTREE_SRC_SYNC_EPOCH_H_
+#define PACTREE_SRC_SYNC_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/pmem/pptr.h"
+
+namespace pactree {
+
+class EpochManager {
+ public:
+  static EpochManager& Instance();
+
+  // Marks the calling thread active in the current epoch (nestable).
+  void Enter();
+  void Exit();
+
+  // Schedules a persistent block for PmemFree after two epochs. Optional
+  // callback runs just before the free (may be null). Thread-safe.
+  void Retire(PPtr<void> block, void (*fn)(void*) = nullptr, void* arg = nullptr);
+
+  // Attempts to advance the global epoch (succeeds when every active thread
+  // has entered the current epoch) and reclaims anything two epochs old.
+  void TryAdvanceAndReclaim();
+
+  // Forces reclamation of everything; callers must guarantee no concurrent
+  // guards (used at shutdown and between benchmark phases).
+  void DrainAll();
+
+  uint64_t CurrentEpoch() const { return global_epoch_.load(std::memory_order_acquire); }
+  uint64_t RetiredCount() const { return retired_count_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Retired {
+    uint64_t epoch;
+    PPtr<void> block;
+    void (*fn)(void*);
+    void* arg;
+  };
+
+  struct ThreadRecord {
+    std::atomic<uint64_t> active_epoch{0};  // 0 = quiescent, else epoch+1
+    std::atomic<uint32_t> nesting{0};
+  };
+
+  EpochManager() = default;
+  ThreadRecord* LocalRecord();
+  uint64_t MinActiveEpoch();
+  void ReclaimUpTo(uint64_t epoch);
+
+  std::atomic<uint64_t> global_epoch_{2};
+  std::atomic<uint64_t> retired_count_{0};
+
+  // Registered thread records (leaked; threads outlive the registry entries).
+  std::vector<ThreadRecord*> records_;
+  std::atomic<size_t> record_count_{0};
+
+  // Shared retire list (mutex-protected; retire volume is SMO-rate, not
+  // op-rate, so contention is negligible).
+  std::vector<Retired> retired_;
+  std::atomic_flag retired_lock_ = ATOMIC_FLAG_INIT;
+  std::atomic_flag records_lock_ = ATOMIC_FLAG_INIT;
+};
+
+class EpochGuard {
+ public:
+  EpochGuard() { EpochManager::Instance().Enter(); }
+  ~EpochGuard() { EpochManager::Instance().Exit(); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+};
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_SYNC_EPOCH_H_

@@ -1,0 +1,50 @@
+// Generation alignment between persistent pools and the process-global
+// generation ID (paper §5.7).
+//
+// Opening an index must void every version lock persisted by a previous
+// incarnation, including locks captured in a *held* state by a crash. The pool
+// header's generation alone is not enough inside a long-lived process (a
+// re-created pool restarts at 1 while the global generation has moved on), so
+// each open advances every involved pool to a generation strictly above the
+// current global one and publishes it.
+//
+// Constraint (documented in DESIGN.md): other persistent indexes in the same
+// process must be quiescent while one is being opened -- their in-flight lock
+// words would otherwise be voided mid-operation.
+#ifndef PACTREE_SRC_SYNC_GEN_SYNC_H_
+#define PACTREE_SRC_SYNC_GEN_SYNC_H_
+
+#include <algorithm>
+#include <initializer_list>
+
+#include "src/nvm/persist.h"
+#include "src/pmem/heap.h"
+#include "src/sync/generation.h"
+
+namespace pactree {
+
+inline uint32_t AdvanceGenerations(std::initializer_list<PmemHeap*> heaps) {
+  uint64_t g = GlobalGeneration();
+  for (PmemHeap* h : heaps) {
+    if (h != nullptr) {
+      g = std::max(g, h->generation());
+    }
+  }
+  uint32_t target = static_cast<uint32_t>(g) + 1;
+  for (PmemHeap* h : heaps) {
+    if (h == nullptr) {
+      continue;
+    }
+    for (uint32_t i = 0; i < h->pool_count(); ++i) {
+      PoolHeader* hdr = h->pool(i)->header();
+      hdr->generation = target;
+      PersistFence(&hdr->generation, sizeof(hdr->generation));
+    }
+  }
+  SetGlobalGeneration(target);
+  return target;
+}
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_SYNC_GEN_SYNC_H_

@@ -1,0 +1,28 @@
+// Global generation ID (paper §5.7): bumped every time a persistent index is
+// loaded. Version locks embed the generation under which they were last
+// touched; a mismatch means the lock state predates the current incarnation
+// and is void, so a crash never requires visiting every node to reset locks.
+#ifndef PACTREE_SRC_SYNC_GENERATION_H_
+#define PACTREE_SRC_SYNC_GENERATION_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace pactree {
+
+inline std::atomic<uint32_t>& GlobalGenerationRef() {
+  static std::atomic<uint32_t> gen{1};
+  return gen;
+}
+
+inline uint32_t GlobalGeneration() {
+  return GlobalGenerationRef().load(std::memory_order_acquire);
+}
+
+inline void SetGlobalGeneration(uint32_t g) {
+  GlobalGenerationRef().store(g, std::memory_order_release);
+}
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_SYNC_GENERATION_H_

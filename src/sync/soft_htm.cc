@@ -1,0 +1,278 @@
+#include "src/sync/soft_htm.h"
+
+#include <cstring>
+
+#include "src/common/compiler.h"
+
+namespace pactree {
+
+SoftHtmStats SoftHtm::Stats() const {
+  SoftHtmStats s;
+  s.begins = begins_.load(std::memory_order_relaxed);
+  s.commits = commits_.load(std::memory_order_relaxed);
+  s.conflict_aborts = conflict_aborts_.load(std::memory_order_relaxed);
+  s.capacity_aborts = capacity_aborts_.load(std::memory_order_relaxed);
+  s.spurious_aborts = spurious_aborts_.load(std::memory_order_relaxed);
+  s.fallback_acquisitions = fallback_acqs_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::atomic<uint64_t>* SoftHtm::LockFor(const void* addr) {
+  uint64_t line = CacheLineOf(addr);
+  // Fibonacci hash over the line address.
+  uint64_t h = (line * 0x9e3779b97f4a7c15ULL) >> (64 - 16);
+  return &locks_[h & (kLockTableSize - 1)];
+}
+
+void SoftHtm::LockFallback() {
+  uint64_t v = fallback_.load(std::memory_order_acquire);
+  while (true) {
+    if ((v & 1) == 0 &&
+        fallback_.compare_exchange_weak(v, v + 1, std::memory_order_acquire)) {
+      fallback_acqs_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    CpuRelax();
+    v = fallback_.load(std::memory_order_acquire);
+  }
+}
+
+void SoftHtm::UnlockFallback() { fallback_.fetch_add(1, std::memory_order_release); }
+
+bool SoftHtm::NonTxCas64(void* addr, uint64_t expected, uint64_t desired) {
+  std::atomic<uint64_t>* lock = LockFor(addr);
+  uint64_t v = lock->load(std::memory_order_acquire);
+  while ((v & 1) != 0 ||
+         !lock->compare_exchange_weak(v, v | 1, std::memory_order_acquire)) {
+    CpuRelax();
+    v = lock->load(std::memory_order_acquire);
+  }
+  bool ok = std::atomic_ref<uint64_t>(*static_cast<uint64_t*>(addr))
+                .compare_exchange_strong(expected, desired, std::memory_order_acq_rel);
+  lock->fetch_add(1, std::memory_order_release);  // odd -> next even version
+  return ok;
+}
+
+void SoftHtm::NonTxWrite64(void* addr, uint64_t value) {
+  std::atomic<uint64_t>* lock = LockFor(addr);
+  uint64_t v = lock->load(std::memory_order_acquire);
+  while ((v & 1) != 0 ||
+         !lock->compare_exchange_weak(v, v | 1, std::memory_order_acquire)) {
+    CpuRelax();
+    v = lock->load(std::memory_order_acquire);
+  }
+  std::atomic_ref<uint64_t>(*static_cast<uint64_t*>(addr))
+      .store(value, std::memory_order_release);
+  lock->fetch_add(1, std::memory_order_release);  // odd -> next even version
+}
+
+uint64_t SoftHtm::Txn::NextSeed() {
+  static std::atomic<uint64_t> counter{0x5eed};
+  return counter.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed);
+}
+
+bool SoftHtm::Txn::Begin() {
+  htm_->begins_.fetch_add(1, std::memory_order_relaxed);
+  cause_ = HtmAbortCause::kNone;
+  reads_.clear();
+  writes_.clear();
+  tracked_lines_ = 0;
+  l1_.assign(size_t{htm_->cfg_.l1_sets} * htm_->cfg_.l1_ways, 0);
+  // Subscribe to the fallback lock: a held lock aborts us immediately, and any
+  // later acquisition is caught at Commit() via version validation.
+  fallback_version_ = htm_->fallback_.load(std::memory_order_acquire);
+  if ((fallback_version_ & 1) != 0) {
+    cause_ = HtmAbortCause::kFallbackLocked;
+    htm_->conflict_aborts_.fetch_add(1, std::memory_order_relaxed);
+    began_ = false;
+    return false;
+  }
+  began_ = true;
+  return true;
+}
+
+bool SoftHtm::Txn::TouchLine(const void* addr) {
+  const SoftHtmConfig& cfg = htm_->cfg_;
+  if (cfg.spurious_abort_per_line > 0.0 && rng_.NextDouble() < cfg.spurious_abort_per_line) {
+    cause_ = HtmAbortCause::kSpurious;
+    htm_->spurious_aborts_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  uint64_t line = CacheLineOf(addr);
+  uint32_t set = static_cast<uint32_t>((line >> 6) & (cfg.l1_sets - 1));
+  uint64_t* ways = &l1_[size_t{set} * cfg.l1_ways];
+  // Hit?
+  for (uint32_t i = 0; i < cfg.l1_ways; ++i) {
+    if (ways[i] == line) {
+      // Move to MRU position.
+      for (uint32_t j = i; j > 0; --j) {
+        ways[j] = ways[j - 1];
+      }
+      ways[0] = line;
+      return true;
+    }
+  }
+  // Miss: evicting the LRU way loses a transactionally tracked line -> the
+  // hardware would abort with a capacity abort.
+  if (ways[cfg.l1_ways - 1] != 0) {
+    cause_ = HtmAbortCause::kCapacity;
+    htm_->capacity_aborts_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  for (uint32_t j = cfg.l1_ways - 1; j > 0; --j) {
+    ways[j] = ways[j - 1];
+  }
+  ways[0] = line;
+  if (++tracked_lines_ > cfg.max_tracked_lines) {
+    cause_ = HtmAbortCause::kCapacity;
+    htm_->capacity_aborts_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+uint64_t SoftHtm::Txn::Read64(const void* addr) {
+  if (!ok()) {
+    return 0;
+  }
+  // Read-your-writes.
+  for (const WriteEntry& w : writes_) {
+    if (w.addr == addr) {
+      return w.value;
+    }
+  }
+  if (!TouchLine(addr)) {
+    return 0;
+  }
+  std::atomic<uint64_t>* lock = htm_->LockFor(addr);
+  uint64_t v1 = lock->load(std::memory_order_acquire);
+  if ((v1 & 1) != 0) {
+    cause_ = HtmAbortCause::kConflict;
+    htm_->conflict_aborts_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  uint64_t value = std::atomic_ref<uint64_t>(*const_cast<uint64_t*>(
+                       static_cast<const uint64_t*>(addr)))
+                       .load(std::memory_order_acquire);
+  uint64_t v2 = lock->load(std::memory_order_acquire);
+  if (v1 != v2) {
+    cause_ = HtmAbortCause::kConflict;
+    htm_->conflict_aborts_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  uint32_t idx = static_cast<uint32_t>(lock - htm_->locks_);
+  for (const ReadEntry& r : reads_) {
+    if (r.lock_idx == idx) {
+      if (r.version != v1) {
+        cause_ = HtmAbortCause::kConflict;
+        htm_->conflict_aborts_.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
+      return value;
+    }
+  }
+  reads_.push_back({idx, v1});
+  return value;
+}
+
+void SoftHtm::Txn::Write64(void* addr, uint64_t value) {
+  if (!ok()) {
+    return;
+  }
+  if (!TouchLine(addr)) {
+    return;
+  }
+  for (WriteEntry& w : writes_) {
+    if (w.addr == addr) {
+      w.value = value;
+      return;
+    }
+  }
+  writes_.push_back({static_cast<uint64_t*>(addr), value});
+}
+
+void SoftHtm::Txn::Abort(HtmAbortCause cause) {
+  if (cause_ == HtmAbortCause::kNone) {
+    cause_ = cause;
+  }
+  began_ = false;
+}
+
+bool SoftHtm::Txn::Commit() {
+  if (!began_ || !ok()) {
+    began_ = false;
+    return false;
+  }
+  began_ = false;
+  // Acquire write locks.
+  std::vector<std::atomic<uint64_t>*> acquired;
+  acquired.reserve(writes_.size());
+  for (const WriteEntry& w : writes_) {
+    std::atomic<uint64_t>* lock = htm_->LockFor(w.addr);
+    bool mine = false;
+    for (std::atomic<uint64_t>* a : acquired) {
+      if (a == lock) {
+        mine = true;
+        break;
+      }
+    }
+    if (mine) {
+      continue;
+    }
+    uint64_t v = lock->load(std::memory_order_acquire);
+    int spins = 0;
+    while ((v & 1) != 0 || !lock->compare_exchange_weak(v, v | 1, std::memory_order_acquire)) {
+      if ((v & 1) != 0 && ++spins > 64) {
+        for (std::atomic<uint64_t>* a : acquired) {
+          a->fetch_sub(1, std::memory_order_release);  // undo lock bit, version intact
+        }
+        cause_ = HtmAbortCause::kConflict;
+        htm_->conflict_aborts_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      CpuRelax();
+      v = lock->load(std::memory_order_acquire);
+    }
+    acquired.push_back(lock);
+  }
+  // Validate the read set (locks we own validate against pre-lock versions).
+  bool valid = htm_->fallback_.load(std::memory_order_acquire) == fallback_version_;
+  for (const ReadEntry& r : reads_) {
+    if (!valid) {
+      break;
+    }
+    std::atomic<uint64_t>* lock = &htm_->locks_[r.lock_idx];
+    uint64_t v = lock->load(std::memory_order_acquire);
+    bool mine = false;
+    for (std::atomic<uint64_t>* a : acquired) {
+      if (a == lock) {
+        mine = true;
+        break;
+      }
+    }
+    if (mine) {
+      valid = (v & ~uint64_t{1}) == r.version;  // we set the lock bit ourselves
+    } else {
+      valid = v == r.version;
+    }
+  }
+  if (!valid) {
+    for (std::atomic<uint64_t>* a : acquired) {
+      a->fetch_sub(1, std::memory_order_release);  // undo lock bit, version intact
+    }
+    cause_ = HtmAbortCause::kConflict;
+    htm_->conflict_aborts_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Publish.
+  for (const WriteEntry& w : writes_) {
+    std::atomic_ref<uint64_t>(*w.addr).store(w.value, std::memory_order_release);
+  }
+  for (std::atomic<uint64_t>* a : acquired) {
+    a->fetch_add(1, std::memory_order_release);  // odd -> next even version
+  }
+  htm_->commits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace pactree

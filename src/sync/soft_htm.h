@@ -1,0 +1,145 @@
+// Software emulation of Intel restricted transactional memory (RTM/TSX).
+//
+// FP-Tree protects its DRAM internal nodes with HTM; the paper's finding GC3
+// (Figure 6) is that HTM aborts explode with large data sets (capacity/TLB
+// misses) and high thread counts (conflicts), crippling FP-Tree. Real TSX is
+// unavailable here, so this module provides transactions with the same failure
+// modes, produced by real mechanisms where possible:
+//
+//   * conflict aborts  -- genuine: a versioned-lock table detects concurrent
+//     writers (including the fallback-lock subscription an RTM guard uses);
+//   * capacity aborts  -- an L1-like set-associative model tracks the lines a
+//     transaction touches; evicting a tracked line aborts, exactly like losing
+//     a line from the read set in L1;
+//   * spurious aborts  -- a per-access probability models TLB-miss/interrupt
+//     aborts, scaled by the index's working-set size (documented substitution).
+//
+// Values are read/written at 8-byte granularity through Txn::Read64/Write64.
+#ifndef PACTREE_SRC_SYNC_SOFT_HTM_H_
+#define PACTREE_SRC_SYNC_SOFT_HTM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace pactree {
+
+enum class HtmAbortCause : uint8_t {
+  kNone = 0,
+  kConflict,
+  kCapacity,
+  kSpurious,
+  kFallbackLocked,
+};
+
+struct SoftHtmConfig {
+  size_t max_tracked_lines = 512;     // read+write set bound (L1 lines)
+  uint32_t l1_sets = 64;              // 64 sets x 8 ways x 64 B = 32 KiB L1d
+  uint32_t l1_ways = 8;
+  double spurious_abort_per_line = 0.0;  // TLB/interrupt abort probability
+};
+
+struct SoftHtmStats {
+  uint64_t begins = 0;
+  uint64_t commits = 0;
+  uint64_t conflict_aborts = 0;
+  uint64_t capacity_aborts = 0;
+  uint64_t spurious_aborts = 0;
+  uint64_t fallback_acquisitions = 0;
+};
+
+class SoftHtm {
+ public:
+  explicit SoftHtm(const SoftHtmConfig& cfg = SoftHtmConfig()) : cfg_(cfg) {}
+
+  const SoftHtmConfig& config() const { return cfg_; }
+  void set_config(const SoftHtmConfig& cfg) { cfg_ = cfg; }
+
+  SoftHtmStats Stats() const;
+
+  // Non-transactional exclusive fallback (what _xbegin failure paths take).
+  void LockFallback();
+  void UnlockFallback();
+
+  // Non-transactional store that still participates in conflict detection:
+  // bumps the address's lock-table version around the store so concurrent
+  // transactions that read the line abort (what a real cache-coherent store
+  // does to a hardware transaction). Used by fallback-path writers.
+  void NonTxWrite64(void* addr, uint64_t value);
+
+  // Non-transactional CAS with the same conflict-detection property. Every
+  // direct mutation of a word that transactions also read/write MUST go
+  // through these two, or a committed transaction can miss the change.
+  bool NonTxCas64(void* addr, uint64_t expected, uint64_t desired);
+
+  class Txn {
+   public:
+    explicit Txn(SoftHtm* htm) : htm_(htm), rng_(NextSeed()) {}
+
+    // Starts the transaction; false when the fallback lock is held (the RTM
+    // idiom reads the lock inside the transaction and aborts if taken).
+    bool Begin();
+
+    // Transactional 8-byte read/write. After any Read64 the caller must check
+    // ok(); a failed transaction's reads return 0.
+    uint64_t Read64(const void* addr);
+    void Write64(void* addr, uint64_t value);
+
+    bool ok() const { return cause_ == HtmAbortCause::kNone; }
+    HtmAbortCause cause() const { return cause_; }
+
+    // Validates and publishes. Returns false on abort (stats recorded).
+    bool Commit();
+
+    // Explicit user abort (no stats beyond conflict accounting).
+    void Abort(HtmAbortCause cause);
+
+   private:
+    struct ReadEntry {
+      uint32_t lock_idx;
+      uint64_t version;
+    };
+    struct WriteEntry {
+      uint64_t* addr;
+      uint64_t value;
+    };
+
+    static uint64_t NextSeed();
+    bool TouchLine(const void* addr);  // L1 model + spurious; false = abort
+
+    SoftHtm* htm_;
+    Rng rng_;
+    HtmAbortCause cause_ = HtmAbortCause::kNone;
+    uint64_t fallback_version_ = 0;
+    std::vector<ReadEntry> reads_;
+    std::vector<WriteEntry> writes_;
+    std::vector<uint64_t> l1_;  // set-associative tag store, sets x ways
+    size_t tracked_lines_ = 0;
+    bool began_ = false;
+  };
+
+ private:
+  friend class Txn;
+
+  static constexpr size_t kLockTableSize = 1 << 16;
+
+  std::atomic<uint64_t>* LockFor(const void* addr);
+
+  SoftHtmConfig cfg_;
+  // Versioned write locks hashed by cache line; lsb = locked.
+  std::atomic<uint64_t> locks_[kLockTableSize] = {};
+  std::atomic<uint64_t> fallback_{0};
+
+  std::atomic<uint64_t> begins_{0};
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> conflict_aborts_{0};
+  std::atomic<uint64_t> capacity_aborts_{0};
+  std::atomic<uint64_t> spurious_aborts_{0};
+  std::atomic<uint64_t> fallback_acqs_{0};
+};
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_SYNC_SOFT_HTM_H_

@@ -1,0 +1,109 @@
+// Optimistic persistent version lock (paper §5.7).
+//
+// An 8-byte word: [generation:32 | version:32]. Odd version = write-locked.
+// Readers never store to the word (GA2: reads generate zero NVM writes), except
+// the one-time lazy reset when the embedded generation is stale -- which is how
+// "incrementing the global generation ID resets all locks at once" works.
+//
+// The lock lives inside persistent nodes, so it is a plain uint64_t accessed
+// through std::atomic_ref.
+#ifndef PACTREE_SRC_SYNC_VERSION_LOCK_H_
+#define PACTREE_SRC_SYNC_VERSION_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/compiler.h"
+#include "src/sync/generation.h"
+
+namespace pactree {
+
+class OptVersionLock {
+ public:
+  OptVersionLock() = default;
+
+  // Waits until the lock is free and returns a validation token.
+  uint64_t ReadLock() const {
+    while (true) {
+      uint64_t w = Normalized();
+      if ((w & 1) == 0) {
+        return w;
+      }
+      CpuRelax();
+    }
+  }
+
+  // Non-blocking variant: returns false while a writer holds the lock.
+  bool TryReadLock(uint64_t* token) const {
+    uint64_t w = Normalized();
+    if ((w & 1) != 0) {
+      return false;
+    }
+    *token = w;
+    return true;
+  }
+
+  // True iff no writer interleaved since |token| was taken.
+  bool Validate(uint64_t token) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return Ref().load(std::memory_order_relaxed) == token;
+  }
+
+  bool TryWriteLock() {
+    uint64_t w = Normalized();
+    if ((w & 1) != 0) {
+      return false;
+    }
+    return Ref().compare_exchange_strong(w, w + 1, std::memory_order_acquire);
+  }
+
+  // Upgrades a read token to a write lock iff nothing changed in between.
+  bool TryUpgrade(uint64_t token) {
+    uint64_t expected = token;
+    return Ref().compare_exchange_strong(expected, token + 1, std::memory_order_acquire);
+  }
+
+  void WriteLock() {
+    while (!TryWriteLock()) {
+      CpuRelax();
+    }
+  }
+
+  void WriteUnlock() { Ref().fetch_add(1, std::memory_order_release); }
+
+  bool IsLocked() const { return (Ref().load(std::memory_order_acquire) & 1) != 0; }
+
+  uint64_t RawWord() const { return Ref().load(std::memory_order_acquire); }
+
+  // Address of the word (for explicit persistence by callers that persist the
+  // surrounding metadata line).
+  const uint64_t* WordAddr() const { return &word_; }
+
+ private:
+  std::atomic_ref<uint64_t> Ref() const {
+    return std::atomic_ref<uint64_t>(const_cast<uint64_t&>(word_));
+  }
+
+  // Loads the word; lazily reinitializes it when its generation is stale
+  // (previous incarnation's lock state is void after a restart).
+  uint64_t Normalized() const {
+    uint64_t w = Ref().load(std::memory_order_acquire);
+    uint32_t gen = GlobalGeneration();
+    if (PACTREE_LIKELY(static_cast<uint32_t>(w >> 32) == gen)) {
+      return w;
+    }
+    uint64_t fresh = static_cast<uint64_t>(gen) << 32;
+    if (Ref().compare_exchange_strong(w, fresh, std::memory_order_acq_rel)) {
+      return fresh;
+    }
+    return w;  // someone else normalized (or locked) it; caller re-examines
+  }
+
+  uint64_t word_ = 0;
+};
+
+static_assert(sizeof(OptVersionLock) == 8, "lock must be one atomic word");
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_SYNC_VERSION_LOCK_H_

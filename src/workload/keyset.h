@@ -1,0 +1,51 @@
+// Deterministic key universes for the YCSB-style workloads (paper §6):
+// 8-byte integer keys and 23-byte string keys ("user" + 19 digits), generated
+// lazily from a bijective 64-bit mix so no materialized array is needed even
+// at 64M-key scale.
+#ifndef PACTREE_SRC_WORKLOAD_KEYSET_H_
+#define PACTREE_SRC_WORKLOAD_KEYSET_H_
+
+#include <cstdint>
+#include <cstdio>
+
+#include "src/common/key.h"
+
+namespace pactree {
+
+class KeySet {
+ public:
+  KeySet(bool string_keys, uint64_t seed = 0x5eedULL)
+      : string_keys_(string_keys), seed_(seed) {}
+
+  bool string_keys() const { return string_keys_; }
+
+  // The i-th key of the universe (i unbounded: run-phase inserts draw indices
+  // beyond the loaded range). Distinct i yield distinct keys.
+  Key At(uint64_t i) const {
+    uint64_t v = Mix(i + seed_);
+    if (!string_keys_) {
+      return Key::FromInt(v);
+    }
+    // "user" + 19 zero-padded digits = 23 bytes, YCSB's key shape.
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "user%019llu",
+                  static_cast<unsigned long long>(v));
+    return Key::FromBytes(buf, 23);
+  }
+
+ private:
+  // SplitMix64 finalizer: a bijection on 64-bit values.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  bool string_keys_;
+  uint64_t seed_;
+};
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_WORKLOAD_KEYSET_H_

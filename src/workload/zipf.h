@@ -1,0 +1,57 @@
+// Zipfian key-index generator (Gray et al., "Quickly generating billion-record
+// synthetic databases", SIGMOD'94) -- the same generator YCSB uses.
+#ifndef PACTREE_SRC_WORKLOAD_ZIPF_H_
+#define PACTREE_SRC_WORKLOAD_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/random.h"
+
+namespace pactree {
+
+class ZipfGenerator {
+ public:
+  // Distribution over [0, n). theta in (0, 1); YCSB default 0.99.
+  ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next(Rng& rng) const {
+    double u = rng.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    uint64_t v = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_WORKLOAD_ZIPF_H_

@@ -1,0 +1,158 @@
+// Strict-ADR crash sweeps for the three baseline indexes. Each baseline has
+// its own crash-consistency story, all of which must hold under the
+// "unflushed stores are lost" model:
+//   FastFair -- logless ordered persists (entries before count; new node
+//               before sibling link);
+//   FP-Tree  -- leaf bitmap as durability pivot + split micro-log; DRAM inner
+//               nodes rebuilt on open;
+//   BzTree   -- PMwCAS dirty-bit protocol + descriptor recovery.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/baselines/bztree.h"
+#include "src/baselines/fastfair.h"
+#include "src/baselines/fptree.h"
+#include "src/common/random.h"
+#include "src/nvm/config.h"
+#include "src/nvm/shadow.h"
+#include "src/nvm/topology.h"
+#include "src/pmem/pool.h"
+#include "src/sync/epoch.h"
+
+namespace pactree {
+namespace {
+
+void OverwriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  int fd = ::open(path.c_str(), O_WRONLY);
+  ASSERT_GE(fd, 0) << path;
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t w = ::pwrite(fd, bytes.data() + off, bytes.size() - off,
+                         static_cast<off_t>(off));
+    ASSERT_GT(w, 0);
+    off += static_cast<size_t>(w);
+  }
+  ::close(fd);
+}
+
+// Generic harness: build, run acked ops under the shadow, crash, restore,
+// reopen via |open_fn|, verify. The pool mapping is located through the
+// persistent-pointer base table (pool id = |pool_id|).
+template <typename Tree>
+void RunBaselineCrash(const char* name, int ops, uint64_t seed, uint16_t pool_id,
+                      const std::string& path, std::unique_ptr<Tree> (*open_fn)()) {
+  auto tree = open_fn();
+  ASSERT_NE(tree, nullptr);
+  void* base = GetPoolBase(pool_id);
+  ASSERT_NE(base, nullptr);
+  size_t size = reinterpret_cast<PoolHeader*>(base)->size;
+  ShadowHeap::Enable(base, size);
+
+  std::map<uint64_t, uint64_t> acked;
+  Rng rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    uint64_t k = rng.Uniform(2000);
+    if (rng.Uniform(6) == 0 && !acked.empty()) {
+      tree->Remove(Key::FromInt(k));
+      acked.erase(k);
+    } else {
+      // BzTree values must keep bits 62-63 clear (PMwCAS word markers).
+      uint64_t v = (rng.Next() >> 2) | 1;
+      tree->Insert(Key::FromInt(k), v);
+      acked[k] = v;
+    }
+  }
+  auto image = ShadowHeap::Capture(CrashMode::kStrict, seed);
+  ASSERT_FALSE(image.empty());
+  tree.reset();
+  EpochManager::Instance().DrainAll();
+  ShadowHeap::Disable();
+  OverwriteFile(path, image);
+
+  auto recovered = open_fn();
+  ASSERT_NE(recovered, nullptr) << name << " recovery failed (ops=" << ops << ")";
+  for (const auto& [k, v] : acked) {
+    uint64_t got = 0;
+    ASSERT_EQ(recovered->Lookup(Key::FromInt(k), &got), Status::kOk)
+        << name << ": acked key lost: " << k << " ops=" << ops;
+    ASSERT_EQ(got, v) << name << " key " << k;
+  }
+  recovered.reset();
+  EpochManager::Instance().DrainAll();
+}
+
+class BaselineCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GlobalNvmConfig() = NvmConfig();
+    GlobalNvmConfig().numa_nodes = 1;  // single pool: whole state shadowed
+    SetCurrentNumaNode(0);
+  }
+  void TearDown() override {
+    ShadowHeap::Disable();
+    FastFair::Destroy("ff_crash");
+    FpTree::Destroy("fp_crash");
+    BzTree::Destroy("bz_crash");
+  }
+};
+
+// --- FastFair ---------------------------------------------------------------
+
+std::unique_ptr<FastFair> OpenFf() {
+  FastFairOptions o;
+  o.name = "ff_crash";
+  o.pool_id_base = 350;
+  o.pool_size = 64 << 20;
+  return FastFair::Open(o);
+}
+TEST_F(BaselineCrashTest, FastFairStrictCrashSweep) {
+  for (int ops : {1, 40, 200, 1000, 4000}) {
+    FastFair::Destroy("ff_crash");
+    RunBaselineCrash<FastFair>("FastFair", ops, static_cast<uint64_t>(ops) * 13 + 1,
+                               350, NvmConfig::DefaultPoolDir() + "/ff_crash.0.pool",
+                               &OpenFf);
+  }
+}
+
+// --- FP-Tree ----------------------------------------------------------------
+
+std::unique_ptr<FpTree> OpenFp() {
+  FpTreeOptions o;
+  o.name = "fp_crash";
+  o.pool_id_base = 360;
+  o.pool_size = 64 << 20;
+  return FpTree::Open(o);
+}
+
+TEST_F(BaselineCrashTest, FpTreeStrictCrashSweep) {
+  for (int ops : {1, 40, 200, 1000, 4000}) {
+    FpTree::Destroy("fp_crash");
+    RunBaselineCrash<FpTree>("FPTree", ops, static_cast<uint64_t>(ops) * 17 + 3, 360,
+                             NvmConfig::DefaultPoolDir() + "/fp_crash.0.pool", &OpenFp);
+  }
+}
+
+// --- BzTree -----------------------------------------------------------------
+
+std::unique_ptr<BzTree> OpenBz() {
+  BzTreeOptions o;
+  o.name = "bz_crash";
+  o.pool_id_base = 370;
+  o.pool_size = 128 << 20;
+  return BzTree::Open(o);
+}
+
+TEST_F(BaselineCrashTest, BzTreeStrictCrashSweep) {
+  for (int ops : {1, 40, 200, 1000, 4000}) {
+    BzTree::Destroy("bz_crash");
+    RunBaselineCrash<BzTree>("BzTree", ops, static_cast<uint64_t>(ops) * 19 + 5, 370,
+                             NvmConfig::DefaultPoolDir() + "/bz_crash.0.pool", &OpenBz);
+  }
+}
+
+}  // namespace
+}  // namespace pactree

@@ -1,0 +1,307 @@
+#include "src/baselines/bztree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/nvm/config.h"
+#include "src/nvm/stats.h"
+#include "src/nvm/topology.h"
+#include "src/pmem/registry.h"
+#include "src/pmwcas/pmwcas.h"
+#include "src/sync/epoch.h"
+#include "src/sync/gen_sync.h"
+
+namespace pactree {
+namespace {
+
+// --- PMwCAS substrate --------------------------------------------------------
+
+class PmwcasTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GlobalNvmConfig() = NvmConfig();
+    SetCurrentNumaNode(0);
+    PmemHeap::Destroy("pmwcas_test");
+    PmemHeapOptions opts;
+    opts.pool_id_base = 70;
+    opts.pool_size = 64 << 20;
+    heap_ = PmemHeap::OpenOrCreate("pmwcas_test", opts);
+    ASSERT_NE(heap_, nullptr);
+    AdvanceGenerations({heap_.get()});
+    anchor_ = static_cast<uint64_t*>(heap_->Root<uint64_t>());
+    *anchor_ = 0;
+    pool_ = std::make_unique<PmwcasPool>(heap_.get(), anchor_, 256);
+    words_ = static_cast<uint64_t*>(heap_->Alloc(4096).get());
+  }
+
+  void TearDown() override {
+    pool_.reset();
+    EpochManager::Instance().DrainAll();
+    heap_.reset();
+    PmemHeap::Destroy("pmwcas_test");
+  }
+
+  std::unique_ptr<PmemHeap> heap_;
+  uint64_t* anchor_ = nullptr;
+  std::unique_ptr<PmwcasPool> pool_;
+  uint64_t* words_ = nullptr;
+};
+
+TEST_F(PmwcasTest, SingleWordSwap) {
+  words_[0] = 5;
+  PmwcasWordEntry e = {ToPPtr(&words_[0]).raw, 5, 9};
+  EXPECT_TRUE(pool_->Run(&e, 1));
+  EXPECT_EQ(pool_->ReadWord(&words_[0]), 9u);
+}
+
+TEST_F(PmwcasTest, FailsOnMismatch) {
+  words_[0] = 5;
+  PmwcasWordEntry e = {ToPPtr(&words_[0]).raw, 6, 9};
+  EXPECT_FALSE(pool_->Run(&e, 1));
+  EXPECT_EQ(pool_->ReadWord(&words_[0]), 5u);
+}
+
+TEST_F(PmwcasTest, MultiWordAllOrNothing) {
+  words_[0] = 1;
+  words_[8] = 2;
+  words_[16] = 3;
+  PmwcasWordEntry ok[3] = {{ToPPtr(&words_[0]).raw, 1, 10},
+                           {ToPPtr(&words_[8]).raw, 2, 20},
+                           {ToPPtr(&words_[16]).raw, 3, 30}};
+  EXPECT_TRUE(pool_->Run(ok, 3));
+  PmwcasWordEntry bad[3] = {{ToPPtr(&words_[0]).raw, 10, 11},
+                            {ToPPtr(&words_[8]).raw, 99, 21},  // mismatch
+                            {ToPPtr(&words_[16]).raw, 30, 31}};
+  EXPECT_FALSE(pool_->Run(bad, 3));
+  EXPECT_EQ(pool_->ReadWord(&words_[0]), 10u) << "failed PMwCAS must roll back";
+  EXPECT_EQ(pool_->ReadWord(&words_[8]), 20u);
+  EXPECT_EQ(pool_->ReadWord(&words_[16]), 30u);
+}
+
+TEST_F(PmwcasTest, CheckEntrySameOldNew) {
+  words_[0] = 7;
+  words_[8] = 1;
+  PmwcasWordEntry e[2] = {{ToPPtr(&words_[0]).raw, 7, 7},  // pure check
+                          {ToPPtr(&words_[8]).raw, 1, 2}};
+  EXPECT_TRUE(pool_->Run(e, 2));
+  EXPECT_EQ(pool_->ReadWord(&words_[0]), 7u);
+  EXPECT_EQ(pool_->ReadWord(&words_[8]), 2u);
+}
+
+TEST_F(PmwcasTest, ConcurrentCountersLinearize) {
+  words_[0] = 0;
+  words_[8] = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIncs = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncs; ++i) {
+        while (true) {
+          // Per-attempt guard: a guard held across retries would stall
+          // descriptor recycling forever.
+          EpochGuard guard;
+          uint64_t a = pool_->ReadWord(&words_[0]);
+          uint64_t b = pool_->ReadWord(&words_[8]);
+          PmwcasWordEntry e[2] = {{ToPPtr(&words_[0]).raw, a, a + 1},
+                                  {ToPPtr(&words_[8]).raw, b, b + 1}};
+          if (pool_->Run(e, 2)) {
+            break;
+          }
+        }
+        if (i % 64 == 0) {
+          EpochManager::Instance().TryAdvanceAndReclaim();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EpochManager::Instance().DrainAll();
+  EXPECT_EQ(pool_->ReadWord(&words_[0]), uint64_t{kThreads} * kIncs);
+  EXPECT_EQ(pool_->ReadWord(&words_[8]), uint64_t{kThreads} * kIncs);
+}
+
+TEST_F(PmwcasTest, RecoveryRollsForwardAndBack) {
+  words_[0] = 1;
+  words_[8] = 2;
+  // Forge an in-flight succeeded descriptor installed at words_[0].
+  auto* descs = PPtr<PmwcasDescriptor>(*anchor_).get();
+  descs[0].words[0] = {ToPPtr(&words_[0]).raw, 1, 100};
+  descs[0].count = 1;
+  descs[0].status = kPmwcasSucceeded;
+  words_[0] = (*anchor_ + 0) | kPmwcasDescriptorFlag;
+  // And an undecided one at words_[8].
+  descs[1].words[0] = {ToPPtr(&words_[8]).raw, 2, 200};
+  descs[1].count = 1;
+  descs[1].status = kPmwcasUndecided;
+  words_[8] = (*anchor_ + sizeof(PmwcasDescriptor)) | kPmwcasDescriptorFlag;
+
+  pool_->Recover();
+  EXPECT_EQ(words_[0], 100u) << "succeeded descriptor rolls forward";
+  EXPECT_EQ(words_[8], 2u) << "undecided descriptor rolls back";
+}
+
+// --- BzTree ------------------------------------------------------------------
+
+class BzTreeTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    GlobalNvmConfig() = NvmConfig();
+    SetCurrentNumaNode(0);
+    BzTree::Destroy("bz_test");
+    opts_.name = "bz_test";
+    opts_.pool_id_base = 240;
+    opts_.pool_size = 512 << 20;
+    tree_ = BzTree::Open(opts_);
+    ASSERT_NE(tree_, nullptr);
+  }
+
+  void TearDown() override {
+    tree_.reset();
+    EpochManager::Instance().DrainAll();
+    BzTree::Destroy("bz_test");
+  }
+
+  Key MakeKey(uint64_t i) const {
+    if (GetParam()) {
+      return Key::FromString("user" + std::to_string(10000000 + i));
+    }
+    return Key::FromInt(i);
+  }
+
+  BzTreeOptions opts_;
+  std::unique_ptr<BzTree> tree_;
+};
+
+TEST_P(BzTreeTest, EmptyLookup) {
+  EXPECT_EQ(tree_->Lookup(MakeKey(1), nullptr), Status::kNotFound);
+}
+
+TEST_P(BzTreeTest, InsertLookupUpsert) {
+  EXPECT_EQ(tree_->Insert(MakeKey(3), 30), Status::kOk);
+  uint64_t v;
+  ASSERT_EQ(tree_->Lookup(MakeKey(3), &v), Status::kOk);
+  EXPECT_EQ(v, 30u);
+  EXPECT_EQ(tree_->Insert(MakeKey(3), 31), Status::kExists);
+  ASSERT_EQ(tree_->Lookup(MakeKey(3), &v), Status::kOk);
+  EXPECT_EQ(v, 31u);
+}
+
+TEST_P(BzTreeTest, BulkSequentialWithSmos) {
+  constexpr uint64_t kN = 40000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(tree_->Insert(MakeKey(i), i + 1), Status::kOk) << i;
+  }
+  for (uint64_t i = 0; i < kN; ++i) {
+    uint64_t v;
+    ASSERT_EQ(tree_->Lookup(MakeKey(i), &v), Status::kOk) << i;
+    ASSERT_EQ(v, i + 1);
+  }
+  EXPECT_EQ(tree_->Size(), kN);
+}
+
+TEST_P(BzTreeTest, RandomAgainstModel) {
+  Rng rng(777);
+  std::map<uint64_t, uint64_t> model;
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t k = rng.Uniform(1 << 24);
+    model[k] = i + 1;
+    tree_->Insert(MakeKey(k), i + 1);
+  }
+  for (const auto& [k, v] : model) {
+    uint64_t got;
+    ASSERT_EQ(tree_->Lookup(MakeKey(k), &got), Status::kOk) << k;
+    ASSERT_EQ(got, v);
+  }
+  EXPECT_EQ(tree_->Size(), model.size());
+}
+
+TEST_P(BzTreeTest, RemoveAndTombstones) {
+  for (uint64_t i = 0; i < 5000; ++i) {
+    tree_->Insert(MakeKey(i), i + 1);
+  }
+  for (uint64_t i = 0; i < 5000; i += 2) {
+    ASSERT_EQ(tree_->Remove(MakeKey(i)), Status::kOk) << i;
+  }
+  EXPECT_EQ(tree_->Remove(MakeKey(0)), Status::kNotFound);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    Status expect = (i % 2 == 0) ? Status::kNotFound : Status::kOk;
+    ASSERT_EQ(tree_->Lookup(MakeKey(i), nullptr), expect) << i;
+  }
+  // Re-insert previously deleted keys.
+  for (uint64_t i = 0; i < 5000; i += 2) {
+    ASSERT_EQ(tree_->Insert(MakeKey(i), i + 100), Status::kOk) << i;
+  }
+  uint64_t v;
+  ASSERT_EQ(tree_->Lookup(MakeKey(0), &v), Status::kOk);
+  EXPECT_EQ(v, 100u);
+}
+
+TEST_P(BzTreeTest, ScanOrdered) {
+  constexpr uint64_t kN = 20000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    tree_->Insert(MakeKey(i), i);
+  }
+  std::vector<std::pair<Key, uint64_t>> out;
+  size_t n = tree_->Scan(MakeKey(500), 100, &out);
+  ASSERT_EQ(n, 100u);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i].second, 500 + i);
+    if (i > 0) {
+      EXPECT_LT(out[i - 1].first.Compare(out[i].first), 0);
+    }
+  }
+}
+
+TEST_P(BzTreeTest, PersistsAcrossReopen) {
+  constexpr uint64_t kN = 20000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    tree_->Insert(MakeKey(i * 3), i + 1);
+  }
+  tree_.reset();
+  EpochManager::Instance().DrainAll();
+  tree_ = BzTree::Open(opts_);
+  ASSERT_NE(tree_, nullptr);
+  for (uint64_t i = 0; i < kN; ++i) {
+    uint64_t v;
+    ASSERT_EQ(tree_->Lookup(MakeKey(i * 3), &v), Status::kOk) << i;
+    ASSERT_EQ(v, i + 1);
+  }
+}
+
+TEST_P(BzTreeTest, ConcurrentInserts) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 8000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        uint64_t k = i * kThreads + static_cast<uint64_t>(t);
+        tree_->Insert(MakeKey(k), k + 1);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (uint64_t k = 0; k < kPerThread * kThreads; k += 37) {
+    uint64_t v;
+    ASSERT_EQ(tree_->Lookup(MakeKey(k), &v), Status::kOk) << k;
+    ASSERT_EQ(v, k + 1);
+  }
+  EXPECT_EQ(tree_->Size(), kPerThread * kThreads);
+}
+
+INSTANTIATE_TEST_SUITE_P(IntAndString, BzTreeTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "StringKeys" : "IntKeys";
+                         });
+
+}  // namespace
+}  // namespace pactree

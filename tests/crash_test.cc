@@ -1,0 +1,212 @@
+// Crash-consistency tests for PACTree (paper §6.8 plus a stricter model).
+//
+// Two methodologies:
+//   1. ShadowHeap (strict ADR): every store that was not clwb+sfence'd before
+//      the simulated crash is discarded; the pool files are rewritten from the
+//      captured durable images and the index is recovered from them.
+//   2. fork + SIGKILL (the paper's §6.8 method): a child process loads keys and
+//      is killed at a random moment; the parent reopens the pools (page-cache
+//      contents survive, like NVM contents) and verifies every acknowledged
+//      key.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/random.h"
+#include "src/nvm/config.h"
+#include "src/nvm/shadow.h"
+#include "src/nvm/topology.h"
+#include "src/pactree/pactree.h"
+#include "src/sync/epoch.h"
+
+namespace pactree {
+namespace {
+
+void OverwriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  int fd = ::open(path.c_str(), O_WRONLY);
+  ASSERT_GE(fd, 0) << path;
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t w = ::pwrite(fd, bytes.data() + off, bytes.size() - off,
+                         static_cast<off_t>(off));
+    ASSERT_GT(w, 0);
+    off += static_cast<size_t>(w);
+  }
+  ::close(fd);
+}
+
+class CrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GlobalNvmConfig() = NvmConfig();
+    GlobalNvmConfig().numa_nodes = 1;  // one pool per heap keeps captures simple
+    SetCurrentNumaNode(0);
+    PacTree::Destroy("crash");
+    opts_.name = "crash";
+    opts_.pool_id_base = 130;
+    opts_.pool_size = 48 << 20;
+  }
+
+  void TearDown() override {
+    ShadowHeap::Disable();
+    EpochManager::Instance().DrainAll();
+    PacTree::Destroy("crash");
+  }
+
+  // Runs |ops| acknowledged operations against a fresh shadowed tree, crashes
+  // (strict or chaos), restores the durable images, recovers, and verifies
+  // that every acknowledged operation survived.
+  void RunCrashPoint(int ops, CrashMode mode, uint64_t seed) {
+    PacTree::Destroy("crash");
+    auto tree = PacTree::Open(opts_);
+    ASSERT_NE(tree, nullptr);
+    struct PoolInfo {
+      std::string path;
+      void* base;
+    };
+    std::vector<PoolInfo> pools;
+    for (PmemHeap* heap : {tree->search_heap(), tree->data_heap(), tree->log_heap()}) {
+      for (uint32_t i = 0; i < heap->pool_count(); ++i) {
+        PmemPool* pool = heap->pool(i);
+        ShadowHeap::Enable(pool->base(), pool->size());
+        pools.push_back({pool->path(), pool->base()});
+      }
+    }
+
+    // Acknowledged state: key -> value (deletes remove).
+    std::map<uint64_t, uint64_t> acked;
+    Rng rng(seed);
+    for (int i = 0; i < ops; ++i) {
+      uint64_t k = rng.Uniform(5000);
+      if (rng.Uniform(5) == 0 && !acked.empty()) {
+        tree->Remove(Key::FromInt(k));
+        acked.erase(k);
+      } else {
+        uint64_t v = rng.Next() | 1;
+        tree->Insert(Key::FromInt(k), v);
+        acked[k] = v;
+      }
+    }
+
+    // Crash: capture the durable image of every pool.
+    std::vector<std::vector<uint8_t>> images;
+    for (const PoolInfo& p : pools) {
+      images.push_back(ShadowHeap::CaptureRegion(p.base, mode, seed));
+      ASSERT_FALSE(images.back().empty());
+    }
+    // The dying process goes away...
+    tree.reset();
+    EpochManager::Instance().DrainAll();
+    ShadowHeap::Disable();
+    // ...and the machine reboots with only the durable bytes.
+    for (size_t i = 0; i < pools.size(); ++i) {
+      OverwriteFile(pools[i].path, images[i]);
+    }
+
+    auto recovered = PacTree::Open(opts_);
+    ASSERT_NE(recovered, nullptr) << "recovery failed";
+    for (const auto& [k, v] : acked) {
+      uint64_t got = 0;
+      ASSERT_EQ(recovered->Lookup(Key::FromInt(k), &got), Status::kOk)
+          << "acked key lost: " << k << " (ops=" << ops << ", seed=" << seed << ")";
+      ASSERT_EQ(got, v) << "acked value wrong for key " << k;
+    }
+    std::string why;
+    ASSERT_TRUE(recovered->CheckInvariants(&why)) << why;
+    // Recovery must be idempotent: reopen once more.
+    recovered.reset();
+    EpochManager::Instance().DrainAll();
+    auto again = PacTree::Open(opts_);
+    ASSERT_NE(again, nullptr);
+    for (const auto& [k, v] : acked) {
+      uint64_t got = 0;
+      ASSERT_EQ(again->Lookup(Key::FromInt(k), &got), Status::kOk) << k;
+      ASSERT_EQ(got, v);
+    }
+    again.reset();
+    EpochManager::Instance().DrainAll();
+  }
+
+  PacTreeOptions opts_;
+};
+
+TEST_F(CrashTest, StrictAdrCrashSweep) {
+  // Many crash points: op counts chosen to land inside and around node splits.
+  for (int ops : {1, 10, 63, 64, 65, 120, 200, 500, 1500, 4000}) {
+    RunCrashPoint(ops, CrashMode::kStrict, static_cast<uint64_t>(ops) * 7919);
+  }
+}
+
+TEST_F(CrashTest, ChaosEvictionCrashSweep) {
+  // Random unflushed lines become durable (cache evictions): recovery must
+  // tolerate "too much" durability as well.
+  for (int ops : {64, 300, 1000, 3000}) {
+    RunCrashPoint(ops, CrashMode::kChaos, static_cast<uint64_t>(ops) * 104729);
+  }
+}
+
+TEST_F(CrashTest, SigkillRecoveryLoop) {
+  // The paper's §6.8 methodology, scaled for a unit test (the bench binary
+  // sec68_recovery runs the full 100 iterations).
+  const std::string progress_path = NvmConfig::DefaultPoolDir() + "/crash.progress";
+  constexpr int kIterations = 6;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    PacTree::Destroy("crash");
+    ::unlink(progress_path.c_str());
+    // Progress file: child stores the count of acknowledged inserts.
+    int pfd = ::open(progress_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(pfd, 0);
+    ASSERT_EQ(::ftruncate(pfd, 4096), 0);
+    auto* progress = static_cast<volatile uint64_t*>(
+        ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE, MAP_SHARED, pfd, 0));
+    ASSERT_NE(progress, MAP_FAILED);
+    ::close(pfd);
+
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: load keys forever; the parent will SIGKILL us.
+      auto tree = PacTree::Open(opts_);
+      if (tree == nullptr) {
+        _exit(1);
+      }
+      Rng rng(static_cast<uint64_t>(iter) + 1);
+      for (uint64_t i = 0;; ++i) {
+        tree->Insert(Key::FromInt(i), i * 2 + 1);
+        *progress = i + 1;  // acked; page cache survives SIGKILL
+      }
+    }
+    // Parent: let the child run briefly, then kill it mid-flight.
+    Rng rng(static_cast<uint64_t>(iter) * 31 + 7);
+    ::usleep(static_cast<useconds_t>(20000 + rng.Uniform(120000)));
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+
+    uint64_t acked = *progress;
+    ::munmap(const_cast<uint64_t*>(progress), 4096);
+    auto tree = PacTree::Open(opts_);
+    ASSERT_NE(tree, nullptr) << "recovery failed at iteration " << iter;
+    for (uint64_t i = 0; i < acked; ++i) {
+      uint64_t v = 0;
+      ASSERT_EQ(tree->Lookup(Key::FromInt(i), &v), Status::kOk)
+          << "iteration " << iter << ": acked key " << i << "/" << acked << " lost";
+      ASSERT_EQ(v, i * 2 + 1);
+    }
+    std::string why;
+    ASSERT_TRUE(tree->CheckInvariants(&why)) << why;
+    tree.reset();
+    EpochManager::Instance().DrainAll();
+  }
+  ::unlink(progress_path.c_str());
+}
+
+}  // namespace
+}  // namespace pactree

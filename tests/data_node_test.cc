@@ -1,0 +1,174 @@
+#include "src/pactree/data_node.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/nvm/config.h"
+#include "src/nvm/topology.h"
+#include "src/pmem/heap.h"
+
+namespace pactree {
+namespace {
+
+class DataNodeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GlobalNvmConfig() = NvmConfig();
+    SetCurrentNumaNode(0);
+    PmemHeap::Destroy("dn_test");
+    PmemHeapOptions opts;
+    opts.pool_id_base = 80;
+    opts.pool_size = 16 << 20;
+    heap_ = PmemHeap::OpenOrCreate("dn_test", opts);
+    ASSERT_NE(heap_, nullptr);
+    node_ = static_cast<DataNode*>(heap_->Alloc(sizeof(DataNode)).get());
+    ASSERT_NE(node_, nullptr);
+  }
+
+  void TearDown() override {
+    heap_.reset();
+    PmemHeap::Destroy("dn_test");
+  }
+
+  std::unique_ptr<PmemHeap> heap_;
+  DataNode* node_ = nullptr;
+};
+
+TEST_F(DataNodeTest, LayoutIsTwelveXpLines) {
+  EXPECT_EQ(sizeof(DataNode), 3072u);
+  EXPECT_EQ(offsetof(DataNode, anchor), 64u);
+  EXPECT_EQ(offsetof(DataNode, fp), 128u);
+  EXPECT_EQ(offsetof(DataNode, perm), 192u);
+  EXPECT_EQ(offsetof(DataNode, keys), 256u);
+  EXPECT_EQ(offsetof(DataNode, values), 2560u);
+}
+
+TEST_F(DataNodeTest, FillAndFindSlot) {
+  Key k = Key::FromInt(1234);
+  node_->FillSlot(5, k, k.Fingerprint(), 99);
+  EXPECT_EQ(node_->FindKey(k, k.Fingerprint()), -1) << "invisible until bitmap set";
+  node_->PublishBitmap(1ULL << 5);
+  EXPECT_EQ(node_->FindKey(k, k.Fingerprint()), 5);
+  EXPECT_EQ(node_->values[5], 99u);
+}
+
+TEST_F(DataNodeTest, BitmapIsVisibilityPivot) {
+  Key a = Key::FromInt(1);
+  Key b = Key::FromInt(2);
+  node_->FillSlot(0, a, a.Fingerprint(), 10);
+  node_->FillSlot(1, b, b.Fingerprint(), 20);
+  node_->PublishBitmap(0b01);
+  EXPECT_GE(node_->FindKey(a, a.Fingerprint()), 0);
+  EXPECT_EQ(node_->FindKey(b, b.Fingerprint()), -1);
+  node_->PublishBitmap(0b10);  // one atomic store flips both (update protocol)
+  EXPECT_EQ(node_->FindKey(a, a.Fingerprint()), -1);
+  EXPECT_GE(node_->FindKey(b, b.Fingerprint()), 0);
+}
+
+TEST_F(DataNodeTest, FindFreeSlotScansBitmap) {
+  EXPECT_EQ(node_->FindFreeSlot(), 0);
+  node_->PublishBitmap(0b111);
+  EXPECT_EQ(node_->FindFreeSlot(), 3);
+  node_->PublishBitmap(~0ULL);
+  EXPECT_EQ(node_->FindFreeSlot(), -1);
+}
+
+TEST_F(DataNodeTest, FingerprintFilterNeverMissesAndRarelyLies) {
+  // Property: FindKey(k) finds exactly the slot holding k, for random fills.
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::memset(static_cast<void*>(node_), 0, sizeof(DataNode));
+    int n = 1 + static_cast<int>(rng.Uniform(kDataNodeEntries));
+    uint64_t bitmap = 0;
+    std::vector<uint64_t> keys;
+    for (int i = 0; i < n; ++i) {
+      uint64_t kv = rng.Next();
+      Key k = Key::FromInt(kv);
+      node_->FillSlot(i, k, k.Fingerprint(), kv ^ 0xabc);
+      bitmap |= 1ULL << i;
+      keys.push_back(kv);
+    }
+    node_->PublishBitmap(bitmap);
+    for (int i = 0; i < n; ++i) {
+      Key k = Key::FromInt(keys[i]);
+      int slot = node_->FindKey(k, k.Fingerprint());
+      ASSERT_EQ(slot, i);
+      ASSERT_EQ(node_->values[slot], keys[i] ^ 0xabc);
+    }
+    // Absent keys are not found.
+    for (int probe = 0; probe < 16; ++probe) {
+      uint64_t kv = rng.Next();
+      if (std::find(keys.begin(), keys.end(), kv) != keys.end()) {
+        continue;
+      }
+      Key k = Key::FromInt(kv);
+      ASSERT_EQ(node_->FindKey(k, k.Fingerprint()), -1);
+    }
+  }
+}
+
+TEST_F(DataNodeTest, ComputeSortedOrderIsSorted) {
+  Rng rng(5);
+  std::memset(static_cast<void*>(node_), 0, sizeof(DataNode));
+  uint64_t bitmap = 0;
+  // Scatter 40 keys into random slots.
+  for (int placed = 0; placed < 40;) {
+    int slot = static_cast<int>(rng.Uniform(kDataNodeEntries));
+    if (bitmap & (1ULL << slot)) {
+      continue;
+    }
+    Key k = Key::FromInt(rng.Next());
+    node_->FillSlot(slot, k, k.Fingerprint(), 0);
+    bitmap |= 1ULL << slot;
+    placed++;
+  }
+  node_->PublishBitmap(bitmap);
+  uint8_t order[kDataNodeEntries];
+  int n = node_->ComputeSortedOrder(order);
+  ASSERT_EQ(n, 40);
+  for (int i = 1; i < n; ++i) {
+    EXPECT_LT(node_->keys[order[i - 1]].Compare(node_->keys[order[i]]), 0);
+  }
+}
+
+TEST_F(DataNodeTest, SimdAndScalarFingerprintMatchAgree) {
+  // The AVX2 path and a reference scalar implementation must agree on every
+  // candidate set.
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::memset(static_cast<void*>(node_), 0, sizeof(DataNode));
+    uint64_t bitmap = rng.Next();
+    for (size_t i = 0; i < kDataNodeEntries; ++i) {
+      node_->fp[i] = static_cast<uint8_t>(rng.Next());
+      node_->keys[i] = Key::FromInt(rng.Next());
+    }
+    node_->PublishBitmap(bitmap);
+    uint8_t probe_fp = static_cast<uint8_t>(rng.Next());
+    Key probe = Key::FromInt(rng.Next());  // almost surely absent
+    int simd = node_->FindKey(probe, probe_fp);
+    // Scalar reference.
+    int ref = -1;
+    for (size_t i = 0; i < kDataNodeEntries; ++i) {
+      if ((bitmap >> i & 1) && node_->fp[i] == probe_fp && node_->keys[i] == probe) {
+        ref = static_cast<int>(i);
+        break;
+      }
+    }
+    ASSERT_EQ(simd, ref);
+  }
+}
+
+TEST_F(DataNodeTest, SiblingPointerStores) {
+  node_->StoreNextPersist(0x1234500);
+  node_->StorePrevPersist(0x6789a00);
+  EXPECT_EQ(node_->NextRaw(), 0x1234500u);
+  EXPECT_EQ(node_->PrevRaw(), 0x6789a00u);
+  EXPECT_FALSE(node_->IsDeleted());
+}
+
+}  // namespace
+}  // namespace pactree

@@ -1,0 +1,216 @@
+#include "src/baselines/fastfair.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/nvm/config.h"
+#include "src/nvm/stats.h"
+#include "src/nvm/topology.h"
+#include "src/sync/epoch.h"
+
+namespace pactree {
+namespace {
+
+class FastFairTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    GlobalNvmConfig() = NvmConfig();
+    SetCurrentNumaNode(0);
+    FastFair::Destroy("ff_test");
+    opts_.name = "ff_test";
+    opts_.pool_id_base = 200;
+    opts_.pool_size = 256 << 20;
+    opts_.string_keys = GetParam();
+    tree_ = FastFair::Open(opts_);
+    ASSERT_NE(tree_, nullptr);
+  }
+
+  void TearDown() override {
+    tree_.reset();
+    EpochManager::Instance().DrainAll();
+    FastFair::Destroy("ff_test");
+  }
+
+  Key MakeKey(uint64_t i) const {
+    if (opts_.string_keys) {
+      return Key::FromString("user" + std::to_string(10000000 + i));
+    }
+    return Key::FromInt(i);
+  }
+
+  FastFairOptions opts_;
+  std::unique_ptr<FastFair> tree_;
+};
+
+TEST_P(FastFairTest, EmptyLookup) {
+  EXPECT_EQ(tree_->Lookup(MakeKey(1), nullptr), Status::kNotFound);
+}
+
+TEST_P(FastFairTest, InsertLookupUpsert) {
+  EXPECT_EQ(tree_->Insert(MakeKey(5), 50), Status::kOk);
+  uint64_t v;
+  ASSERT_EQ(tree_->Lookup(MakeKey(5), &v), Status::kOk);
+  EXPECT_EQ(v, 50u);
+  EXPECT_EQ(tree_->Insert(MakeKey(5), 51), Status::kExists);
+  ASSERT_EQ(tree_->Lookup(MakeKey(5), &v), Status::kOk);
+  EXPECT_EQ(v, 51u);
+}
+
+TEST_P(FastFairTest, BulkSequential) {
+  constexpr uint64_t kN = 60000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(tree_->Insert(MakeKey(i), i), Status::kOk) << i;
+  }
+  EXPECT_EQ(tree_->Size(), kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    uint64_t v;
+    ASSERT_EQ(tree_->Lookup(MakeKey(i), &v), Status::kOk) << i;
+    ASSERT_EQ(v, i);
+  }
+  std::string why;
+  EXPECT_TRUE(tree_->CheckInvariants(&why)) << why;
+}
+
+TEST_P(FastFairTest, RandomAgainstModel) {
+  Rng rng(77);
+  std::map<uint64_t, uint64_t> model;
+  for (int i = 0; i < 40000; ++i) {
+    uint64_t k = rng.Uniform(1 << 24);
+    model[k] = i;
+    tree_->Insert(MakeKey(k), i);
+  }
+  for (const auto& [k, v] : model) {
+    uint64_t got;
+    ASSERT_EQ(tree_->Lookup(MakeKey(k), &got), Status::kOk) << k;
+    ASSERT_EQ(got, v);
+  }
+  EXPECT_EQ(tree_->Size(), model.size());
+}
+
+TEST_P(FastFairTest, RemoveHalf) {
+  constexpr uint64_t kN = 20000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    tree_->Insert(MakeKey(i), i);
+  }
+  for (uint64_t i = 0; i < kN; i += 2) {
+    ASSERT_EQ(tree_->Remove(MakeKey(i)), Status::kOk) << i;
+  }
+  for (uint64_t i = 0; i < kN; ++i) {
+    Status expect = (i % 2 == 0) ? Status::kNotFound : Status::kOk;
+    ASSERT_EQ(tree_->Lookup(MakeKey(i), nullptr), expect) << i;
+  }
+}
+
+TEST_P(FastFairTest, ScanSortedAndComplete) {
+  // Dense integer keys scan in order in both key modes (string keys of equal
+  // length sort like their numeric suffix).
+  constexpr uint64_t kN = 30000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    tree_->Insert(MakeKey(i), i);
+  }
+  std::vector<std::pair<Key, uint64_t>> out;
+  size_t n = tree_->Scan(MakeKey(1000), 200, &out);
+  ASSERT_EQ(n, 200u);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i].second, 1000 + i);
+    if (i > 0) {
+      EXPECT_LT(out[i - 1].first.Compare(out[i].first), 0);
+    }
+  }
+}
+
+TEST_P(FastFairTest, PersistsAcrossReopen) {
+  constexpr uint64_t kN = 20000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    tree_->Insert(MakeKey(i * 3), i);
+  }
+  tree_.reset();
+  EpochManager::Instance().DrainAll();
+  tree_ = FastFair::Open(opts_);
+  ASSERT_NE(tree_, nullptr);
+  for (uint64_t i = 0; i < kN; ++i) {
+    uint64_t v;
+    ASSERT_EQ(tree_->Lookup(MakeKey(i * 3), &v), Status::kOk) << i;
+    ASSERT_EQ(v, i);
+  }
+}
+
+TEST_P(FastFairTest, ConcurrentInsertsAndReads) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 15000;
+  std::vector<std::thread> threads;
+  std::atomic<bool> fail{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t);
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        uint64_t k = i * kThreads + static_cast<uint64_t>(t);
+        tree_->Insert(MakeKey(k), k);
+        if (i % 7 == 0) {
+          uint64_t probe = rng.Uniform(i + 1) * kThreads + static_cast<uint64_t>(t);
+          uint64_t v;
+          if (tree_->Lookup(MakeKey(probe), &v) == Status::kOk && v != probe) {
+            fail.store(true);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_FALSE(fail.load());
+  EXPECT_EQ(tree_->Size(), kPerThread * kThreads);
+  std::string why;
+  EXPECT_TRUE(tree_->CheckInvariants(&why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(IntAndString, FastFairTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "StringKeys" : "IntKeys";
+                         });
+
+TEST(FastFairStringCost, StringKeysReadMoreNvm) {
+  // GA1/Figure 4 precondition: the string-key mode must do more NVM reads per
+  // lookup than the integer mode (out-of-node key records).
+  GlobalNvmConfig() = NvmConfig();
+  SetCurrentNumaNode(0);
+  auto run = [](bool strings) {
+    FastFair::Destroy("ff_cost");
+    FastFairOptions o;
+    o.name = "ff_cost";
+    o.pool_id_base = 210;
+    o.pool_size = 128 << 20;
+    o.string_keys = strings;
+    auto tree = FastFair::Open(o);
+    Rng rng(5);
+    for (int i = 0; i < 20000; ++i) {
+      uint64_t k = rng.Uniform(1 << 30);
+      tree->Insert(strings ? Key::FromString("user" + std::to_string(k))
+                           : Key::FromInt(k),
+                   k);
+    }
+    NvmStatsSnapshot before = GlobalNvmStats();
+    Rng rng2(5);
+    for (int i = 0; i < 20000; ++i) {
+      uint64_t k = rng2.Uniform(1 << 30);
+      tree->Lookup(strings ? Key::FromString("user" + std::to_string(k))
+                           : Key::FromInt(k),
+                   nullptr);
+    }
+    uint64_t reads = (GlobalNvmStats() - before).media_read_bytes;
+    tree.reset();
+    FastFair::Destroy("ff_cost");
+    return reads;
+  };
+  uint64_t int_reads = run(false);
+  uint64_t str_reads = run(true);
+  EXPECT_GT(str_reads, int_reads * 2) << "string lookups must chase key pointers";
+}
+
+}  // namespace
+}  // namespace pactree

@@ -1,0 +1,85 @@
+#include "src/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace pactree {
+namespace {
+
+TEST(HistogramTest, EmptyReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Percentile(99.99), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  LatencyHistogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.TotalCount(), 1u);
+  uint64_t p50 = h.Percentile(50);
+  EXPECT_GE(p50, 900u);
+  EXPECT_LE(p50, 1000u);
+}
+
+TEST(HistogramTest, PercentilesWithinBucketError) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 100000; ++v) {
+    h.Record(v);
+  }
+  // Buckets keep 4 mantissa bits -> <= 6.25% relative error.
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    uint64_t expect = static_cast<uint64_t>(p / 100.0 * 100000);
+    uint64_t got = h.Percentile(p);
+    EXPECT_GE(got, expect * 93 / 100) << p;
+    EXPECT_LE(got, expect) << p;  // lower bound of containing bucket
+  }
+}
+
+TEST(HistogramTest, MergeEqualsCombined) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram both;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.Uniform(1 << 20);
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    both.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.TotalCount(), both.TotalCount());
+  for (double p : {1.0, 25.0, 50.0, 75.0, 99.0, 99.99}) {
+    EXPECT_EQ(a.Percentile(p), both.Percentile(p)) << p;
+  }
+  EXPECT_EQ(a.Max(), both.Max());
+}
+
+TEST(HistogramTest, MonotonePercentiles) {
+  LatencyHistogram h;
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    h.Record(rng.Uniform(1'000'000));
+  }
+  uint64_t prev = 0;
+  for (double p = 0; p <= 100.0; p += 0.5) {
+    uint64_t v = h.Percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, LargeValues) {
+  LatencyHistogram h;
+  h.Record(~0ULL >> 1);
+  h.Record(1ULL << 40);
+  EXPECT_EQ(h.TotalCount(), 2u);
+  EXPECT_GT(h.Percentile(99), 1ULL << 39);
+}
+
+}  // namespace
+}  // namespace pactree

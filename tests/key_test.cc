@@ -1,0 +1,103 @@
+#include "src/common/key.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace pactree {
+namespace {
+
+TEST(KeyTest, IntRoundTrip) {
+  for (uint64_t v : {0ULL, 1ULL, 255ULL, 256ULL, 0xdeadbeefULL, ~0ULL}) {
+    EXPECT_EQ(Key::FromInt(v).ToInt(), v) << v;
+  }
+}
+
+TEST(KeyTest, IntOrderMatchesByteOrder) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t a = rng.Next();
+    uint64_t b = rng.Next();
+    Key ka = Key::FromInt(a);
+    Key kb = Key::FromInt(b);
+    EXPECT_EQ(a < b, ka < kb);
+    EXPECT_EQ(a == b, ka == kb);
+  }
+}
+
+TEST(KeyTest, StringOrder) {
+  Key a = Key::FromString("apple");
+  Key b = Key::FromString("banana");
+  Key ab = Key::FromString("applesauce");
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, ab);
+  EXPECT_LT(ab, b);
+  EXPECT_EQ(a, Key::FromString("apple"));
+}
+
+TEST(KeyTest, TruncatesTo32Bytes) {
+  std::string long_str(100, 'x');
+  Key k = Key::FromString(long_str);
+  EXPECT_EQ(k.size(), Key::kMaxLen);
+}
+
+TEST(KeyTest, CanonicalizationStripsTrailingZeros) {
+  uint8_t raw[4] = {'a', 'b', 0, 0};
+  Key k = Key::FromBytes(raw, 4);
+  EXPECT_EQ(k.size(), 2u);
+  EXPECT_EQ(k, Key::FromString("ab"));
+}
+
+TEST(KeyTest, PaddedAtReadsZeroBeyondLength) {
+  Key k = Key::FromString("ab");
+  EXPECT_EQ(k.At(0), 'a');
+  EXPECT_EQ(k.At(1), 'b');
+  EXPECT_EQ(k.At(2), 0);
+  EXPECT_EQ(k.At(31), 0);
+}
+
+TEST(KeyTest, MinMaxBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    Key k = Key::FromInt(rng.Next());
+    EXPECT_LE(Key::Min(), k);
+    EXPECT_LE(k, Key::Max());
+  }
+}
+
+TEST(KeyTest, FingerprintIsDeterministicAndSpread) {
+  std::vector<int> counts(256, 0);
+  for (uint64_t i = 0; i < 4096; ++i) {
+    Key k = Key::FromInt(i * 2654435761ULL);
+    EXPECT_EQ(k.Fingerprint(), Key::FromInt(i * 2654435761ULL).Fingerprint());
+    counts[k.Fingerprint()]++;
+  }
+  int zero_buckets = static_cast<int>(std::count(counts.begin(), counts.end(), 0));
+  EXPECT_LT(zero_buckets, 32) << "fingerprints poorly distributed";
+}
+
+TEST(KeyTest, SortMatchesLexicographic) {
+  Rng rng(11);
+  std::vector<Key> keys;
+  std::vector<std::string> strs;
+  for (int i = 0; i < 500; ++i) {
+    size_t len = 1 + rng.Uniform(20);
+    std::string s;
+    for (size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    }
+    strs.push_back(s);
+    keys.push_back(Key::FromString(s));
+  }
+  std::sort(keys.begin(), keys.end());
+  std::sort(strs.begin(), strs.end());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i].ToString(), strs[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pactree

@@ -1,0 +1,140 @@
+// Second-layer NVM model tests: sequential-prefetch accounting, bandwidth
+// pacing, and generation alignment (gen_sync).
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/nvm/bandwidth.h"
+#include "src/nvm/config.h"
+#include "src/nvm/persist.h"
+#include "src/nvm/pool_file.h"
+#include "src/nvm/stats.h"
+#include "src/nvm/topology.h"
+#include "src/pmem/heap.h"
+#include "src/sync/gen_sync.h"
+#include "src/sync/version_lock.h"
+
+namespace pactree {
+namespace {
+
+class NvmModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GlobalNvmConfig() = NvmConfig();
+    SetCurrentNumaNode(0);
+    DropThreadReadCache();
+  }
+};
+
+TEST_F(NvmModelTest, SequentialReadsAreCheaperThanRandom) {
+  NvmConfig& cfg = GlobalNvmConfig();
+  cfg.emulate_latency = true;
+  cfg.read_miss_ns = 2000;  // exaggerate so timing dominates noise
+  cfg.seq_read_ns = 100;
+  std::string path = NvmConfig::DefaultPoolDir() + "/nvm_model_seq.pool";
+  NvmPoolFile f;
+  ASSERT_TRUE(f.Create(path, 8 << 20, 0, 5));
+  char* base = static_cast<char*>(f.base());
+
+  // Sequential: one 64 KiB pass = 256 XPLines, all but the first sequential.
+  DropThreadReadCache();
+  uint64_t t0 = NowNs();
+  AnnotateNvmRead(base, 64 << 10);
+  uint64_t seq_ns = NowNs() - t0;
+
+  // Random: the same 256 XPLines in a scattered order.
+  DropThreadReadCache();
+  t0 = NowNs();
+  for (int i = 0; i < 256; ++i) {
+    int line = (i * 97) % 256;
+    AnnotateNvmRead(base + (1 << 20) + line * 256, 1);
+  }
+  uint64_t rnd_ns = NowNs() - t0;
+  EXPECT_GT(rnd_ns, seq_ns * 3) << "FH3: sequential must be several times faster";
+  f.Close();
+  NvmPoolFile::Remove(path);
+}
+
+TEST_F(NvmModelTest, TokenBucketPacesSustainedTraffic) {
+  TokenBucket bucket;
+  bucket.Configure(/*bytes_per_sec=*/100 * 1000 * 1000, /*burst=*/64 * 1024);
+  // 10 MB at 100 MB/s should take ~100 ms (minus one burst allowance).
+  uint64_t t0 = NowNs();
+  for (int i = 0; i < 160; ++i) {
+    bucket.Consume(64 * 1024);
+  }
+  double secs = static_cast<double>(NowNs() - t0) / 1e9;
+  EXPECT_GT(secs, 0.07);
+  EXPECT_LT(secs, 0.3);
+}
+
+TEST_F(NvmModelTest, TokenBucketUnconfiguredIsFree) {
+  TokenBucket bucket;
+  uint64_t t0 = NowNs();
+  for (int i = 0; i < 1000; ++i) {
+    bucket.Consume(1 << 20);
+  }
+  EXPECT_LT(NowNs() - t0, 10'000'000u) << "unconfigured bucket must not throttle";
+}
+
+TEST_F(NvmModelTest, AdvanceGenerationsVoidsHeldLocks) {
+  PmemHeap::Destroy("gen_test");
+  PmemHeapOptions opts;
+  opts.pool_id_base = 90;
+  opts.pool_size = 8 << 20;
+  auto heap = PmemHeap::OpenOrCreate("gen_test", opts);
+  ASSERT_NE(heap, nullptr);
+  AdvanceGenerations({heap.get()});
+
+  auto* lock = static_cast<OptVersionLock*>(heap->Alloc(64).get());
+  lock->WriteLock();
+  EXPECT_TRUE(lock->IsLocked());
+  // A "reopen": every pool generation moves past the global one.
+  uint32_t g = AdvanceGenerations({heap.get()});
+  EXPECT_GT(g, 0u);
+  uint64_t token;
+  EXPECT_TRUE(lock->TryReadLock(&token)) << "held lock must be void after open";
+  heap.reset();
+  PmemHeap::Destroy("gen_test");
+}
+
+TEST_F(NvmModelTest, AdvanceGenerationsIsMonotonic) {
+  PmemHeap::Destroy("gen_test2");
+  PmemHeapOptions opts;
+  opts.pool_id_base = 95;
+  opts.pool_size = 8 << 20;
+  auto heap = PmemHeap::OpenOrCreate("gen_test2", opts);
+  uint32_t g1 = AdvanceGenerations({heap.get()});
+  uint32_t g2 = AdvanceGenerations({heap.get()});
+  EXPECT_GT(g2, g1);
+  EXPECT_EQ(GlobalGeneration(), g2);
+  EXPECT_EQ(heap->generation(), g2);
+  heap.reset();
+  PmemHeap::Destroy("gen_test2");
+}
+
+TEST_F(NvmModelTest, RemoteAccessCountsAgainstOtherNode) {
+  GlobalNvmConfig().numa_nodes = 2;
+  std::string path = NvmConfig::DefaultPoolDir() + "/nvm_model_remote.pool";
+  NvmPoolFile f;
+  ASSERT_TRUE(f.Create(path, 1 << 20, /*node=*/1, 6));
+  SetCurrentNumaNode(0);
+  DropThreadReadCache();
+  NvmStatsSnapshot before = GlobalNvmStats();
+  AnnotateNvmRead(f.base(), 1024);
+  PersistFence(f.base(), 64);
+  NvmStatsSnapshot d = GlobalNvmStats() - before;
+  EXPECT_EQ(d.remote_reads, 4u);
+  EXPECT_EQ(d.remote_writes, 1u);
+  // Same accesses from the owning node are local.
+  SetCurrentNumaNode(1);
+  DropThreadReadCache();
+  before = GlobalNvmStats();
+  AnnotateNvmRead(static_cast<char*>(f.base()) + 4096, 1024);
+  d = GlobalNvmStats() - before;
+  EXPECT_EQ(d.remote_reads, 0u);
+  f.Close();
+  NvmPoolFile::Remove(path);
+}
+
+}  // namespace
+}  // namespace pactree

