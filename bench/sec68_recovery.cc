@@ -1,22 +1,158 @@
 // §6.8: crash-recovery evaluation (the paper's SIGKILL methodology).
 //
-// Repeatedly: fork a child that loads keys into PACTree, SIGKILL it at a
-// random instant, reopen the pools in the parent, run recovery, and verify
-// that every acknowledged key is readable. Also reports recovery time (the
-// NVM-resident search layer makes it near-instant). PAC_CRASHES sets the
+// Phase 1 -- repeatedly: fork a child that loads keys into PACTree, SIGKILL
+// it at a random instant, reopen the pools in the parent, run recovery, and
+// verify that every acknowledged key is readable. Also reports recovery time
+// (the NVM-resident search layer makes it near-instant). PAC_CRASHES sets the
 // iteration count (paper: 100).
+//
+// Phase 2 -- crash-point-resolved recovery timing: the fault-injection layer
+// (src/nvm/fault.h) crashes one insert-that-splits at *every* persistence
+// event it issues and times PacTree::Open on the rebuilt pool files, so the
+// cost of recovery is resolved by what was in flight (allocation logs, SMO
+// logs, half-published splits) rather than averaged over random SIGKILL
+// instants. PAC_SWEEP=0 skips the phase.
 #include <fcntl.h>
 #include <signal.h>
 #include <sys/mman.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "src/common/clock.h"
 #include "src/common/random.h"
+#include "src/index/range_index.h"
+#include "src/nvm/fault.h"
+#include "src/nvm/shadow.h"
 #include "src/pactree/pactree.h"
 
 using namespace pactree;
+
+namespace {
+
+void OverwriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return;
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t w = ::pwrite(fd, bytes.data() + off, bytes.size() - off,
+                         static_cast<off_t>(off));
+    if (w <= 0) {
+      break;
+    }
+    off += static_cast<size_t>(w);
+  }
+  ::close(fd);
+}
+
+std::unique_ptr<RangeIndex> OpenSweepIndex(bool open_existing) {
+  IndexFactoryOptions o;
+  o.name = "sec68_sweep";
+  o.pool_id_base = 440;
+  o.pool_size = 64ULL << 20;
+  o.per_numa_pools = false;
+  o.pactree_async_update = false;  // SMO persistence events land on this thread
+  o.open_existing = open_existing;
+  return CreateIndex(IndexKind::kPacTree, o);
+}
+
+// Crashes the trace's insert at event |crash_event| (0 = count only), reopens
+// from the captured images, and reports the recovery time in |recover_ns|.
+// Returns the window's event count.
+uint64_t TimeCrashPoint(uint64_t crash_event, uint64_t* recover_ns) {
+  DestroyIndex(IndexKind::kPacTree, "sec68_sweep");
+  auto index = OpenSweepIndex(/*open_existing=*/false);
+  if (index == nullptr) {
+    return 0;
+  }
+  // Base state: one data node at capacity, so the window insert splits it.
+  for (uint64_t i = 1; i <= 64; ++i) {
+    index->Insert(Key::FromInt(i * 10), i);
+  }
+  index->Drain();
+
+  struct PoolInfo {
+    std::string path;
+    void* base;
+  };
+  std::vector<PoolInfo> pools;
+  for (PmemHeap* heap : index->Heaps()) {
+    for (uint32_t i = 0; i < heap->pool_count(); ++i) {
+      PmemPool* pool = heap->pool(i);
+      ShadowHeap::Enable(pool->base(), pool->size());
+      pools.push_back({pool->path(), pool->base()});
+    }
+  }
+  CrashPlan plan;
+  plan.mode = FaultMode::kStrict;
+  plan.crash_event = crash_event;
+  plan.seed = crash_event;
+  FaultInjector::Arm(plan);
+  index->Insert(Key::FromInt(645), 645);
+  uint64_t events = FaultInjector::EventCount();
+  FaultInjector::Disarm();
+
+  std::vector<std::vector<uint8_t>> images;
+  images.reserve(pools.size());
+  for (const PoolInfo& p : pools) {
+    images.push_back(ShadowHeap::CaptureRegion(p.base, CrashMode::kStrict));
+  }
+  index.reset();
+  EpochManager::Instance().DrainAll();
+  ShadowHeap::Disable();
+  for (size_t i = 0; i < pools.size(); ++i) {
+    OverwriteFile(pools[i].path, images[i]);
+  }
+
+  uint64_t t0 = NowNs();
+  auto recovered = OpenSweepIndex(/*open_existing=*/true);
+  *recover_ns = NowNs() - t0;
+  if (recovered == nullptr) {
+    return 0;
+  }
+  recovered.reset();
+  EpochManager::Instance().DrainAll();
+  return events;
+}
+
+int RunCrashPointSweep() {
+  std::printf("\n# crash-point-resolved recovery (PACTree insert+split, strict mode)\n");
+  uint64_t ns = 0;
+  uint64_t n = TimeCrashPoint(/*crash_event=*/0, &ns);
+  if (n == 0) {
+    std::printf("# sweep setup failed\n");
+    return 1;
+  }
+  std::vector<double> ms(n + 1, 0.0);
+  for (uint64_t k = 1; k <= n; ++k) {
+    if (TimeCrashPoint(k, &ns) == 0) {
+      std::printf("# recovery failed at K=%llu\n", static_cast<unsigned long long>(k));
+      return 1;
+    }
+    ms[k] = static_cast<double>(ns) / 1e6;
+  }
+  std::printf("%-8s %14s\n", "K", "recover(ms)");
+  for (uint64_t k = 1; k <= n; ++k) {
+    std::printf("%-8llu %14.2f\n", static_cast<unsigned long long>(k), ms[k]);
+  }
+  double lo = ms[1], hi = ms[1], sum = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    lo = std::min(lo, ms[k]);
+    hi = std::max(hi, ms[k]);
+    sum += ms[k];
+  }
+  std::printf("# %llu crash points: recovery min %.2f ms / mean %.2f ms / max %.2f ms\n",
+              static_cast<unsigned long long>(n), lo, sum / static_cast<double>(n), hi);
+  DestroyIndex(IndexKind::kPacTree, "sec68_sweep");
+  return 0;
+}
+
+}  // namespace
 
 int main() {
   Banner("Section 6.8", "SIGKILL crash-recovery loop");
@@ -97,5 +233,8 @@ int main() {
   ::unlink(progress_path.c_str());
   std::printf("# %d/%d recoveries verified every acknowledged key (paper: 100/100)\n",
               iterations - failures, iterations);
+  if (EnvU64("PAC_SWEEP", 1) != 0 && RunCrashPointSweep() != 0) {
+    failures++;
+  }
   return failures == 0 ? 0 : 1;
 }

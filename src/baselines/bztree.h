@@ -100,6 +100,8 @@ class BzTree {
 
   uint64_t Size() const;
   uint64_t PmwcasSucceeded() const { return pmwcas_->SucceededCount(); }
+  // Backing heap (crash tests shadow its pools and audit its alloc logs).
+  PmemHeap* heap() const { return heap_.get(); }
 
  private:
   struct BzRoot;

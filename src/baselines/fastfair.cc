@@ -61,8 +61,39 @@ bool FastFair::Init(const FastFairOptions& opts) {
     PersistFence(root_, sizeof(FfRoot));
     root_->magic = kFfMagic;
     PersistFence(&root_->magic, sizeof(uint64_t));
+  } else {
+    RepairSplitOverlaps();
   }
   return true;
+}
+
+void FastFair::RepairSplitOverlaps() {
+  // A split publishes the sibling link before trimming the left node's count;
+  // a crash between the two fences leaves the moved half durable in both
+  // nodes. The original FAST&FAIR leaves that state in place and relies on
+  // readers tolerating duplicates; our scans and invariant checks demand
+  // disjoint nodes, so re-apply the trim on reopen: every key >= a linked
+  // sibling's low key belongs to the sibling (for an internal node this also
+  // drops the median, whose child is reachable as the sibling's leftmost).
+  FfNode* level = PPtr<FfNode>(root_->root_raw).get();
+  while (level != nullptr) {
+    for (FfNode* n = level; n != nullptr; n = PPtr<FfNode>(n->sibling_raw).get()) {
+      FfNode* sib = PPtr<FfNode>(n->sibling_raw).get();
+      if (sib == nullptr || !sib->has_low) {
+        continue;
+      }
+      Key low = DecodeKey(sib->low_key_word);
+      uint32_t c = n->count;
+      while (c > 0 && CompareKeyWord(n->key_words[c - 1], low) >= 0) {
+        --c;
+      }
+      if (c != n->count) {
+        std::atomic_ref<uint32_t>(n->count).store(c, std::memory_order_release);
+        PersistFence(&n->count, sizeof(n->count));
+      }
+    }
+    level = level->is_leaf ? nullptr : PPtr<FfNode>(level->leftmost_raw).get();
+  }
 }
 
 FfNode* FastFair::NewNode(bool leaf) {

@@ -74,12 +74,15 @@ class FastFair {
 
   uint64_t Size() const;
   bool CheckInvariants(std::string* why) const;
+  // Backing heap (crash tests shadow its pools and audit its alloc logs).
+  PmemHeap* heap() const { return heap_.get(); }
 
  private:
   struct FfRoot;
 
   FastFair() = default;
   bool Init(const FastFairOptions& opts);
+  void RepairSplitOverlaps();
 
   uint64_t EncodeKey(const Key& key);         // may allocate a key record
   Key DecodeKey(uint64_t key_word) const;

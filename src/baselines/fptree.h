@@ -84,6 +84,8 @@ class FpTree {
 
   uint64_t Size() const;
   SoftHtmStats HtmStats() const { return htm_->Stats(); }
+  // Backing heap (crash tests shadow its pools and audit its alloc logs).
+  PmemHeap* heap() const { return heap_.get(); }
 
  private:
   struct FpRoot;

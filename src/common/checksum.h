@@ -1,0 +1,40 @@
+// Mixing checksum for persistent log entries.
+//
+// Persistent logs update a whole entry and retire it with single fences, but
+// the media only guarantees 8-byte failure atomicity: a torn line write can
+// commit the state/type word of a fresh entry next to payload words left over
+// from a previously retired one. Every log entry therefore carries a 64-bit
+// checksum over its meaningful words, written in the same fence as the entry
+// and durably zeroed at retirement; recovery rejects any entry whose checksum
+// does not match, which collapses all partial-commit states into "entry never
+// happened" (safe, because the entry's fence precedes every data-structure
+// mutation of the logged operation).
+#ifndef PACTREE_SRC_COMMON_CHECKSUM_H_
+#define PACTREE_SRC_COMMON_CHECKSUM_H_
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace pactree {
+
+// SplitMix64 finalizer: full avalanche, so a single stale payload word flips
+// the checksum with overwhelming probability (unlike a plain XOR/sum).
+inline uint64_t MixBits64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Order-sensitive checksum of a small sequence of 64-bit words.
+inline uint64_t LogChecksum(std::initializer_list<uint64_t> words) {
+  uint64_t h = 0x243f6a8885a308d3ULL;  // nonzero seed: all-zero words -> nonzero sum
+  for (uint64_t w : words) {
+    h = MixBits64(h ^ w);
+  }
+  return h;
+}
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_COMMON_CHECKSUM_H_

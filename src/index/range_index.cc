@@ -42,6 +42,18 @@ class PacTreeIndex : public RangeIndex {
   uint64_t Size() const override { return tree_->Size(); }
   std::string Name() const override { return "PACTree"; }
   void Drain() override { tree_->DrainSmoLogs(); }
+  bool CheckInvariants(std::string* why) const override {
+    return tree_->CheckInvariants(why);
+  }
+  size_t PendingLogEntries() const override {
+    return tree_->search_heap()->PendingLogEntries() +
+           tree_->data_heap()->PendingLogEntries() +
+           tree_->log_heap()->PendingLogEntries();
+  }
+  bool OperationLogsDrained() const override { return tree_->SmoLogsDrained(); }
+  std::vector<PmemHeap*> Heaps() const override {
+    return {tree_->search_heap(), tree_->data_heap(), tree_->log_heap()};
+  }
   PacTree* tree() { return tree_.get(); }
 
  private:
@@ -68,6 +80,8 @@ class PdlArtIndex : public RangeIndex {
   }
   uint64_t Size() const override { return art_->Size(); }
   std::string Name() const override { return "PDL-ART"; }
+  size_t PendingLogEntries() const override { return heap_->PendingLogEntries(); }
+  std::vector<PmemHeap*> Heaps() const override { return {heap_.get()}; }
   const std::string& heap_name() const { return name_; }
 
  private:
@@ -88,6 +102,11 @@ class FastFairIndex : public RangeIndex {
   }
   uint64_t Size() const override { return tree_->Size(); }
   std::string Name() const override { return "FastFair"; }
+  bool CheckInvariants(std::string* why) const override {
+    return tree_->CheckInvariants(why);
+  }
+  size_t PendingLogEntries() const override { return tree_->heap()->PendingLogEntries(); }
+  std::vector<PmemHeap*> Heaps() const override { return {tree_->heap()}; }
 
  private:
   std::unique_ptr<FastFair> tree_;
@@ -107,6 +126,8 @@ class FpTreeIndex : public RangeIndex {
   std::string Name() const override { return "FPTree"; }
   // The authors' FP-Tree binary supports fixed 8-byte keys only (paper §6).
   bool SupportsStringKeys() const override { return false; }
+  size_t PendingLogEntries() const override { return tree_->heap()->PendingLogEntries(); }
+  std::vector<PmemHeap*> Heaps() const override { return {tree_->heap()}; }
   FpTree* tree() { return tree_.get(); }
 
  private:
@@ -125,6 +146,8 @@ class BzTreeIndex : public RangeIndex {
   }
   uint64_t Size() const override { return tree_->Size(); }
   std::string Name() const override { return "BzTree"; }
+  size_t PendingLogEntries() const override { return tree_->heap()->PendingLogEntries(); }
+  std::vector<PmemHeap*> Heaps() const override { return {tree_->heap()}; }
 
  private:
   std::unique_ptr<BzTree> tree_;
@@ -153,7 +176,9 @@ std::unique_ptr<RangeIndex> CreateIndex(IndexKind kind, const IndexFactoryOption
   uint16_t base = PoolBase(opts);
   switch (kind) {
     case IndexKind::kPacTree: {
-      PacTree::Destroy(name);
+      if (!opts.open_existing) {
+        PacTree::Destroy(name);
+      }
       PacTreeOptions o;
       o.name = name;
       o.pool_id_base = base;
@@ -167,7 +192,9 @@ std::unique_ptr<RangeIndex> CreateIndex(IndexKind kind, const IndexFactoryOption
                              : std::make_unique<PacTreeIndex>(std::move(tree));
     }
     case IndexKind::kPdlArt: {
-      PmemHeap::Destroy(name);
+      if (!opts.open_existing) {
+        PmemHeap::Destroy(name);
+      }
       PmemHeapOptions h;
       h.pool_id_base = base;
       h.pool_size = opts.pool_size;
@@ -177,7 +204,9 @@ std::unique_ptr<RangeIndex> CreateIndex(IndexKind kind, const IndexFactoryOption
                              : std::make_unique<PdlArtIndex>(std::move(heap), name);
     }
     case IndexKind::kFastFair: {
-      FastFair::Destroy(name);
+      if (!opts.open_existing) {
+        FastFair::Destroy(name);
+      }
       FastFairOptions o;
       o.name = name;
       o.pool_id_base = base;
@@ -189,7 +218,9 @@ std::unique_ptr<RangeIndex> CreateIndex(IndexKind kind, const IndexFactoryOption
                              : std::make_unique<FastFairIndex>(std::move(tree));
     }
     case IndexKind::kFpTree: {
-      FpTree::Destroy(name);
+      if (!opts.open_existing) {
+        FpTree::Destroy(name);
+      }
       FpTreeOptions o;
       o.name = name;
       o.pool_id_base = base;
@@ -200,7 +231,9 @@ std::unique_ptr<RangeIndex> CreateIndex(IndexKind kind, const IndexFactoryOption
       return tree == nullptr ? nullptr : std::make_unique<FpTreeIndex>(std::move(tree));
     }
     case IndexKind::kBzTree: {
-      BzTree::Destroy(name);
+      if (!opts.open_existing) {
+        BzTree::Destroy(name);
+      }
       BzTreeOptions o;
       o.name = name;
       o.pool_id_base = base;

@@ -13,6 +13,8 @@
 
 namespace pactree {
 
+class PmemHeap;
+
 class RangeIndex {
  public:
   virtual ~RangeIndex() = default;
@@ -31,6 +33,24 @@ class RangeIndex {
   virtual bool SupportsStringKeys() const { return true; }
   // Flushes background work (PACTree's SMO logs) before measurement phases.
   virtual void Drain() {}
+
+  // --- recovery-verification hooks (see src/index/verify.h) ----------------
+
+  // Implementation-specific structural audit (node ordering, sibling links,
+  // ...). Defaults to "no structural checks available".
+  virtual bool CheckInvariants(std::string* why) const {
+    (void)why;
+    return true;
+  }
+  // Unretired persistent allocation-log entries across the index's heaps.
+  // Must be zero after recovery.
+  virtual size_t PendingLogEntries() const { return 0; }
+  // True when every operation log (PACTree's SMO rings) is empty. Must hold
+  // after recovery.
+  virtual bool OperationLogsDrained() const { return true; }
+  // The persistent heaps backing this index, for crash harnesses that shadow
+  // every pool of the index.
+  virtual std::vector<PmemHeap*> Heaps() const { return {}; }
 };
 
 enum class IndexKind {
@@ -55,9 +75,13 @@ struct IndexFactoryOptions {
   bool pactree_dram_search_layer = false;
   // FP-Tree HTM model (ignored by other kinds).
   double fptree_spurious_abort_per_line = 0.0;
+  // Reopen existing pool files and run recovery instead of destroying them --
+  // how crash tests bring an index back up over captured images.
+  bool open_existing = false;
 };
 
-// Creates a fresh index (destroys leftover pools of the same name first).
+// Creates a fresh index (destroys leftover pools of the same name first),
+// or -- with opts.open_existing -- recovers one from its existing pools.
 std::unique_ptr<RangeIndex> CreateIndex(IndexKind kind, const IndexFactoryOptions& opts);
 
 // Removes an index's backing pools.

@@ -1,0 +1,121 @@
+#include "src/nvm/fault.h"
+
+#include "src/common/compiler.h"
+#include "src/nvm/shadow.h"
+
+namespace pactree {
+namespace {
+
+struct WindowState {
+  bool armed = false;
+  bool triggered = false;
+  CrashPlan plan;
+  uint64_t events = 0;
+  // Covered lines flushed since the last fence; a fence only counts as an
+  // event when it actually retires staged lines.
+  uint64_t staged_lines = 0;
+};
+
+thread_local WindowState t_window;
+
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Commits a torn fragment of |line|: 1..7 aligned 8-byte words, as a prefix
+// or a suffix, chosen by the plan seed and the event index so different crash
+// points tear differently.
+void CommitTornLine(uintptr_t line, uint64_t seed, uint64_t event) {
+  uint64_t h = Mix64(seed ^ Mix64(event));
+  size_t words = 1 + h % 7;
+  bool suffix = (h >> 32) & 1;
+  if (suffix) {
+    size_t skip = (kCacheLineSize / 8) - words;
+    ShadowHeap::CommitBytes(reinterpret_cast<const void*>(line + skip * 8),
+                            words * 8);
+  } else {
+    ShadowHeap::CommitBytes(reinterpret_cast<const void*>(line), words * 8);
+  }
+}
+
+// The crash takes effect: apply the mode's durable side effects, then freeze
+// the image so nothing later in the doomed operation changes it.
+void Trigger(WindowState& w, uintptr_t flush_line, bool at_fence) {
+  w.triggered = true;
+  switch (w.plan.mode) {
+    case FaultMode::kStrict:
+      break;
+    case FaultMode::kChaos:
+      ShadowHeap::EvictLines(w.plan.seed, w.plan.evict_probability);
+      break;
+    case FaultMode::kTorn:
+      if (at_fence) {
+        ShadowHeap::CommitStagedSubset(w.plan.seed);
+      } else {
+        CommitTornLine(flush_line, w.plan.seed, w.events);
+      }
+      break;
+  }
+  ShadowHeap::Freeze();
+}
+
+}  // namespace
+
+void FaultInjector::Arm(const CrashPlan& plan) {
+  t_window.armed = true;
+  t_window.triggered = false;
+  t_window.plan = plan;
+  t_window.events = 0;
+  t_window.staged_lines = 0;
+}
+
+void FaultInjector::Disarm() {
+  t_window.armed = false;
+  t_window.staged_lines = 0;
+}
+
+bool FaultInjector::Armed() { return t_window.armed; }
+
+bool FaultInjector::Triggered() { return t_window.triggered; }
+
+uint64_t FaultInjector::EventCount() { return t_window.events; }
+
+void FaultInjector::OnPersist(const void* p, size_t n) {
+  WindowState& w = t_window;
+  if (!w.armed || w.triggered || n == 0) {
+    return;
+  }
+  uintptr_t start = CacheLineOf(p);
+  uintptr_t end = reinterpret_cast<uintptr_t>(p) + n;
+  for (uintptr_t line = start; line < end; line += kCacheLineSize) {
+    if (!ShadowHeap::Covers(reinterpret_cast<const void*>(line))) {
+      continue;
+    }
+    w.events++;
+    w.staged_lines++;
+    if (w.events == w.plan.crash_event) {
+      Trigger(w, line, /*at_fence=*/false);
+      return;
+    }
+  }
+}
+
+void FaultInjector::OnFence() {
+  WindowState& w = t_window;
+  if (!w.armed || w.triggered) {
+    return;
+  }
+  if (w.staged_lines == 0) {
+    return;  // empty fence: retires nothing, not a distinct durable state
+  }
+  w.staged_lines = 0;
+  w.events++;
+  if (w.events == w.plan.crash_event) {
+    Trigger(w, 0, /*at_fence=*/true);
+  }
+}
+
+}  // namespace pactree

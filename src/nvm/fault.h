@@ -1,0 +1,76 @@
+// FaultInjector: deterministic crash-point injection over the ShadowHeap.
+//
+// A test arms a *window* on the current thread, runs one index operation, and
+// the injector counts persistence events as they pass through PersistRange /
+// Fence: every shadow-covered cache-line flush is one event, and every fence
+// that retires at least one staged line is one event. Arming with
+// crash_event = K freezes the shadow image exactly when event K occurs, so a
+// sweep over K in [1, N] visits every reachable crash state of the operation.
+// Arming with crash_event = 0 counts without triggering, which is how tests
+// discover N for an operation they have never seen before.
+//
+// What "crash at event K" commits to the durable image depends on the mode:
+//   kStrict  event K (and everything after) is lost; events 1..K-1 that were
+//            fenced are durable. The flush/fence at K has no effect.
+//   kChaos   as kStrict, plus random unflushed cache lines are "evicted" into
+//            the image from their live contents at the crash instant
+//            (hash-of-(seed, line) decision; see ShadowHeap::EvictLines).
+//   kTorn    the line being flushed at K commits only a seed-chosen 8-byte-
+//            aligned prefix or suffix (1..7 words); when K is a fence event, a
+//            seed-chosen subset of the staged lines drains in full and one
+//            more drains partially. Models the 8 B failure-atomicity unit the
+//            logging protocols rely on.
+//
+// The window is thread-local: only events issued by the arming thread count,
+// so a deterministic single-threaded trace yields the same event numbering
+// run after run. Requires ShadowHeap to be active over the pools of interest.
+#ifndef PACTREE_SRC_NVM_FAULT_H_
+#define PACTREE_SRC_NVM_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pactree {
+
+enum class FaultMode {
+  kStrict,  // nothing un-fenced survives
+  kChaos,   // plus random cache evictions at the crash instant
+  kTorn,    // the event-K line/fence commits partially at 8 B granularity
+};
+
+struct CrashPlan {
+  FaultMode mode = FaultMode::kStrict;
+  // 1-based event index at which the crash takes effect. 0 = count-only
+  // window: events are tallied but no crash is ever triggered.
+  uint64_t crash_event = 0;
+  // Drives chaos eviction choices and torn-write subset/width choices.
+  uint64_t seed = 0;
+  // Per-line eviction probability for kChaos.
+  double evict_probability = 0.05;
+};
+
+class FaultInjector {
+ public:
+  // Opens a window on the calling thread. Resets the event counter.
+  static void Arm(const CrashPlan& plan);
+  // Closes the window. The shadow image stays frozen if a crash triggered;
+  // ShadowHeap::Disable (or Enable) resets that.
+  static void Disarm();
+  static bool Armed();
+  // True once the planned crash has taken effect.
+  static bool Triggered();
+  // Events observed in the current (or just-closed) window. After running an
+  // operation under a count-only plan this is the operation's crash-point
+  // count N; a sweep then re-runs the operation once per K in [1, N].
+  static uint64_t EventCount();
+
+  // Hooks wired into PersistRange/Fence (called only while ShadowHeap is
+  // active, *before* the corresponding ShadowHeap hook so a triggered freeze
+  // suppresses the event it models).
+  static void OnPersist(const void* p, size_t n);
+  static void OnFence();
+};
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_NVM_FAULT_H_

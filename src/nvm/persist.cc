@@ -11,6 +11,7 @@
 #include "src/nvm/address_map.h"
 #include "src/nvm/bandwidth.h"
 #include "src/nvm/config.h"
+#include "src/nvm/fault.h"
 #include "src/nvm/shadow.h"
 #include "src/nvm/stats.h"
 #include "src/nvm/topology.h"
@@ -108,6 +109,8 @@ void PersistRange(const void* p, size_t n) {
     return;  // DRAM-resident object: no persistence needed or modeled
   }
   if (ShadowHeap::IsActive()) {
+    // Injector first: a crash triggered at this flush must suppress it.
+    FaultInjector::OnPersist(p, n);
     ShadowHeap::OnPersist(p, n);
   }
 
@@ -151,6 +154,7 @@ void PersistRange(const void* p, size_t n) {
 void Fence() {
   StoreFence();
   if (ShadowHeap::IsActive()) {
+    FaultInjector::OnFence();
     ShadowHeap::OnFence();
   }
   NvmThreadCounters& c = LocalNvmCounters();

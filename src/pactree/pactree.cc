@@ -57,6 +57,7 @@ bool PacTree::Init(const PacTreeOptions& opts) {
   PmemHeapOptions h;
   h.pool_size = opts.pool_size;
   h.single_pool = !opts.per_numa_pools;
+  h.defer_log_recovery = true;  // recovered below, once all three heaps map
 
   h.pool_id_base = opts.pool_id_base;
   h.dram = opts.dram_search_layer;
@@ -71,6 +72,13 @@ bool PacTree::Init(const PacTreeOptions& opts) {
   if (search_heap_ == nullptr || data_heap_ == nullptr || log_heap_ == nullptr) {
     return false;
   }
+
+  // Alloc-log recovery was deferred above: a pending split's malloc-to dest
+  // lives in the log heap while the block lives in the data heap, so no heap's
+  // logs can be recovered until all three are mapped.
+  search_heap_->RecoverPendingLogs();
+  data_heap_->RecoverPendingLogs();
+  log_heap_->RecoverPendingLogs();
 
   // Void every lock word persisted by the previous incarnation (including
   // locks captured held by a crash): advance all pools past the global
@@ -155,6 +163,24 @@ void PacTree::Recover() {
     for (size_t i = 0; i < kSmoLogEntries; ++i) {
       SmoLogEntry& e = log->entries[i];
       if (e.type == 0) {
+        continue;
+      }
+      if (e.checksum != SmoEntryChecksum(e)) {
+        // A split crash between AllocTo's attach and the checksum re-seal
+        // leaves the entry validating only with other_raw treated as 0. The
+        // data layer is untouched at that point, so release the fresh node
+        // and forget the split.
+        SmoLogEntry probe = e;
+        probe.other_raw = 0;
+        if (e.type == kSmoTypeSplit && e.other_raw != 0 &&
+            e.checksum == SmoEntryChecksum(probe)) {
+          PmemFree(PPtr<void>(e.other_raw));
+        }
+        // Anything else is a torn publish: part of the entry committed next
+        // to a recycled slot's stale payload. The entry's fence precedes all
+        // data mutation, so discarding it means the SMO never started.
+        std::memset(static_cast<void*>(&e), 0, sizeof(e));
+        PersistFence(&e, sizeof(e));
         continue;
       }
       max_seq = std::max(max_seq, e.seq);
@@ -368,6 +394,9 @@ SmoLogEntry* PacTree::LogSmo(uint32_t type, uint64_t node_raw, uint64_t other_ra
   e.other_raw = other_raw;
   e.anchor = anchor;
   std::atomic_ref<uint32_t>(e.type).store(type, std::memory_order_release);
+  // Checksum last (it covers type): the whole entry becomes durable in one
+  // fence, and any torn subset of its lines fails validation at recovery.
+  e.checksum = SmoEntryChecksum(e);
   PersistFence(&e, sizeof(e));
   PersistFence(&log->tail, sizeof(log->tail));
   if (log_out != nullptr) {
@@ -460,8 +489,13 @@ void PacTree::AdvanceLogHeads() {
       }
       e.seq = 0;
       e.applied = 0;
+      e.node_raw = 0;
+      e.other_raw = 0;
+      e.checksum = 0;
       std::atomic_ref<uint32_t>(e.type).store(0, std::memory_order_release);
-      PersistRange(&e.seq, 2 * sizeof(uint64_t));  // seq/type/applied: one line
+      // Everything a recycled slot could leak into a torn future entry --
+      // payload and checksum -- is durably cleared in one line flush.
+      PersistRange(&e.seq, 5 * sizeof(uint64_t));
       new_head++;
     }
     if (new_head != head) {
@@ -487,6 +521,25 @@ void PacTree::UpdaterLoop() {
       idle_us = 100;
     }
   }
+}
+
+bool PacTree::SmoLogsDrained() const {
+  for (size_t s = 0; s < kMaxWriterSlots; ++s) {
+    SmoLog* log = logs_[s];
+    if (log == nullptr) {
+      continue;
+    }
+    if (std::atomic_ref<uint64_t>(log->head).load(std::memory_order_acquire) !=
+        std::atomic_ref<uint64_t>(log->tail).load(std::memory_order_acquire)) {
+      return false;
+    }
+    for (size_t i = 0; i < kSmoLogEntries; ++i) {
+      if (log->entries[i].type != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 void PacTree::DrainSmoLogs() {
@@ -736,6 +789,12 @@ DataNode* PacTree::SplitLocked(DataNode* node, const Key& key) {
       LogSmo(kSmoTypeSplit, ToPPtr(node).Cast<void>().raw, 0, split_anchor, nullptr);
   PPtr<void> new_block = data_heap_->AllocTo(ToPPtr(&e->other_raw), sizeof(DataNode));
   assert(!new_block.IsNull() && "data pool exhausted");
+  // AllocTo filled other_raw after the entry's checksum was computed; re-seal
+  // before any data-layer mutation. A crash inside this window leaves a
+  // checksum that validates only with other_raw treated as 0 -- recovery
+  // detects exactly that state, frees the fresh node, and drops the split.
+  e->checksum = SmoEntryChecksum(*e);
+  PersistFence(&e->checksum, sizeof(e->checksum));
   auto* new_node = static_cast<DataNode*>(new_block.get());
 
   // (2) Build the new (right) node, born write-locked.

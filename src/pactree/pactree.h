@@ -99,6 +99,10 @@ class PacTree {
   // sibling links consistent). Returns false and fills |why| on violation.
   bool CheckInvariants(std::string* why) const;
 
+  // True when every SMO ring is empty (head == tail, no live entries) --
+  // guaranteed immediately after Open/Recover and after DrainSmoLogs.
+  bool SmoLogsDrained() const;
+
  private:
   struct PacRoot;  // persistent root object (defined in .cc)
 

@@ -10,7 +10,9 @@
 #define PACTREE_SRC_PACTREE_SMO_LOG_H_
 
 #include <cstdint>
+#include <cstring>
 
+#include "src/common/checksum.h"
 #include "src/common/key.h"
 
 namespace pactree {
@@ -18,17 +20,31 @@ namespace pactree {
 inline constexpr uint32_t kSmoTypeSplit = 1;
 inline constexpr uint32_t kSmoTypeMerge = 2;
 
+// Entries carry a checksum over (type, node_raw, other_raw, anchor) so that a
+// torn line write -- e.g. a fresh type word committed next to stale payload
+// left in a recycled slot -- is rejected at recovery instead of replayed as a
+// garbage SMO. seq and applied are excluded: both are updated after the entry
+// is published, each with a single-word (8 B failure-atomic) persist. All
+// checksummed words plus the checksum live in the entry's first cache line so
+// retirement can durably clear them with one flush.
 struct SmoLogEntry {
-  uint64_t seq;       // global timestamp; 0 = empty. Published LAST.
+  uint64_t seq;        // global timestamp; 0 = empty. Published LAST.
   uint32_t type;
-  uint32_t applied;   // set by the updater after the search layer caught up
-  uint64_t node_raw;  // splitting node / surviving left node
-  uint64_t other_raw; // split: new-node placeholder (AllocTo target);
-                      // merge: the deleted right node
-  Key anchor;         // split: new node's anchor; merge: deleted node's anchor
-  uint8_t pad[60];
+  uint32_t applied;    // set by the updater after the search layer caught up
+  uint64_t node_raw;   // splitting node / surviving left node
+  uint64_t other_raw;  // split: new-node placeholder (AllocTo target);
+                       // merge: the deleted right node
+  uint64_t checksum;   // SmoEntryChecksum; 0 when the slot is retired
+  Key anchor;          // split: new node's anchor; merge: deleted node's anchor
+  uint8_t pad[52];
 };
 static_assert(sizeof(SmoLogEntry) == 128, "two cache lines per entry");
+
+inline uint64_t SmoEntryChecksum(const SmoLogEntry& e) {
+  uint64_t kw[5] = {};
+  std::memcpy(kw, &e.anchor, sizeof(Key));
+  return LogChecksum({e.type, e.node_raw, e.other_raw, kw[0], kw[1], kw[2], kw[3], kw[4]});
+}
 
 inline constexpr size_t kSmoLogEntries = 500;
 

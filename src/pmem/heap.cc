@@ -26,6 +26,9 @@ std::unique_ptr<PmemHeap> PmemHeap::OpenOrCreate(const std::string& name,
   popts.size = opts.pool_size != 0 ? opts.pool_size : (64ULL << 20);
   popts.crash_consistent = opts.crash_consistent;
   popts.dram = opts.dram;
+  // Pools of one heap can cross-reference via malloc-to dest words: map every
+  // pool first, recover logs after (or leave it to the caller entirely).
+  popts.defer_log_recovery = true;
 
   bool did_create = false;
   for (uint32_t n = 0; n < nodes; ++n) {
@@ -33,7 +36,13 @@ std::unique_ptr<PmemHeap> PmemHeap::OpenOrCreate(const std::string& name,
     std::string path = PoolPath(name, n);
     std::unique_ptr<PmemPool> pool;
     if (!opts.dram && NvmPoolFile::Exists(path)) {
-      pool = PmemPool::Open(path, pool_id, n, popts);
+      Status st = PmemPool::Open(path, pool_id, n, popts, &pool);
+      if (st != Status::kOk) {
+        // The file exists but is unusable (truncated, bad magic, foreign pool
+        // id). Recreating would silently discard whatever data it held, so
+        // surface the failure instead.
+        return nullptr;
+      }
     }
     if (pool == nullptr) {
       pool = PmemPool::Create(path, pool_id, n, popts);
@@ -43,6 +52,9 @@ std::unique_ptr<PmemHeap> PmemHeap::OpenOrCreate(const std::string& name,
       return nullptr;
     }
     heap->pools_.push_back(std::move(pool));
+  }
+  if (!opts.defer_log_recovery) {
+    heap->RecoverPendingLogs();
   }
   if (created != nullptr) {
     *created = did_create;

@@ -19,6 +19,10 @@ struct PmemHeapOptions {
   bool crash_consistent = true;
   bool dram = false;         // volatile heap (no files, no persistence)
   bool single_pool = false;  // disable per-NUMA pools
+  // Skip allocation-log recovery in OpenOrCreate; the caller invokes
+  // RecoverPendingLogs() once every heap a log's malloc-to dest may reference
+  // is mapped (PACTree opens three heaps whose logs cross-reference).
+  bool defer_log_recovery = false;
 };
 
 class PmemHeap {
@@ -53,6 +57,22 @@ class PmemHeap {
   }
 
   const std::string& name() const { return name_; }
+
+  // Deferred allocation-log recovery over every sub-pool. Idempotent.
+  void RecoverPendingLogs() {
+    for (const auto& p : pools_) {
+      p->RecoverPendingLogs();
+    }
+  }
+
+  // Unretired alloc/free log entries across all sub-pools (zero when drained).
+  size_t PendingLogEntries() const {
+    size_t n = 0;
+    for (const auto& p : pools_) {
+      n += p->PendingLogEntries();
+    }
+    return n;
+  }
 
  private:
   PmemHeap() = default;

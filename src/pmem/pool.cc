@@ -63,21 +63,64 @@ std::unique_ptr<PmemPool> PmemPool::Create(const std::string& path, uint16_t poo
   return pool;
 }
 
-std::unique_ptr<PmemPool> PmemPool::Open(const std::string& path, uint16_t pool_id,
-                                         uint32_t node, const PmemPoolOptions& opts) {
+Status PmemPool::Open(const std::string& path, uint16_t pool_id, uint32_t node,
+                      const PmemPoolOptions& opts, std::unique_ptr<PmemPool>* out) {
+  out->reset();
+  if (!NvmPoolFile::Exists(path)) {
+    return Status::kNotFound;
+  }
   auto pool = std::unique_ptr<PmemPool>(new PmemPool());
   pool->crash_consistent_ = opts.crash_consistent;
   pool->path_ = path;
   if (!pool->file_.Open(path, node, pool_id)) {
-    return nullptr;
+    // The file exists but cannot be mapped (zero-length, unreadable): treat a
+    // present-but-unmappable pool as corrupt so callers never recreate over it
+    // silently.
+    return Status::kCorrupted;
   }
   pool->base_ = pool->file_.base();
   pool->size_ = pool->file_.size();
   pool->node_ = node;
-  if (!pool->AttachExisting(pool_id)) {
-    return nullptr;
+  Status st = pool->ValidateHeader(pool_id);
+  if (st != Status::kOk) {
+    return st;
   }
-  return pool;
+  if (!pool->AttachExisting(pool_id, !opts.defer_log_recovery)) {
+    return Status::kCorrupted;
+  }
+  *out = std::move(pool);
+  return Status::kOk;
+}
+
+Status PmemPool::ValidateHeader(uint16_t pool_id) const {
+  // Everything here must be provably inside the mapping before it is read:
+  // a truncated file must fail validation, not fault.
+  if (size_ < sizeof(PoolHeader)) {
+    return Status::kCorrupted;
+  }
+  const PoolHeader* h = header();
+  if (h->magic != kPoolMagic) {
+    return Status::kCorrupted;
+  }
+  if (h->layout_version != 1 || h->pool_id != pool_id) {
+    return Status::kCorrupted;
+  }
+  if (h->size < sizeof(PoolHeader) || h->size > size_) {
+    return Status::kCorrupted;
+  }
+  if (h->chunk_count == 0 || h->log_slots == 0 || h->log_slots > kLogSlots) {
+    return Status::kCorrupted;
+  }
+  uint64_t chunk_meta_end = h->chunk_meta_off + uint64_t{h->chunk_count} * sizeof(uint32_t);
+  uint64_t bitmap_end =
+      h->bitmap_off + uint64_t{h->chunk_count} * kBitmapWordsPerChunk * sizeof(uint64_t);
+  uint64_t log_end = h->log_off + uint64_t{h->log_slots} * sizeof(AllocLogSlot);
+  uint64_t data_end = h->data_off + uint64_t{h->chunk_count} * kChunkSize;
+  if (h->chunk_meta_off < sizeof(PoolHeader) || chunk_meta_end > h->bitmap_off ||
+      bitmap_end > h->log_off || log_end > h->data_off || data_end > h->size) {
+    return Status::kCorrupted;
+  }
+  return Status::kOk;
 }
 
 bool PmemPool::InitNew(uint16_t pool_id, uint32_t node, size_t size) {
@@ -128,7 +171,7 @@ bool PmemPool::InitNew(uint16_t pool_id, uint32_t node, size_t size) {
   return true;
 }
 
-bool PmemPool::AttachExisting(uint16_t pool_id) {
+bool PmemPool::AttachExisting(uint16_t pool_id, bool recover_logs) {
   PoolHeader* h = header();
   if (h->magic != kPoolMagic || h->pool_id != pool_id || h->size > size_) {
     return false;
@@ -139,8 +182,10 @@ bool PmemPool::AttachExisting(uint16_t pool_id) {
   RegisterPoolAllocator(pool_id_, this);
   h->generation++;
   PersistFence(&h->generation, sizeof(h->generation));
-  RecoverLogs();
   RebuildVolatileState();
+  if (recover_logs) {
+    RecoverLogs();
+  }
   return true;
 }
 
@@ -225,14 +270,29 @@ void PmemPool::RecoverLogs() {
   AllocLogSlot* logs = Logs();
   for (uint32_t i = 0; i < h->log_slots; ++i) {
     AllocLogSlot& s = logs[i];
-    if (s.state == kLogEmpty) {
+    if (s.state == kLogEmpty && s.checksum == 0) {
+      continue;
+    }
+    if (s.state != kLogEmpty && s.checksum != AllocSlotChecksum(s)) {
+      // Torn publish: part of the entry (possibly just the state word next to
+      // a retired entry's stale payload) reached the media. The entry's fence
+      // precedes any data mutation of the logged operation, so discarding it
+      // is exactly "the operation never started".
+      s.state = kLogEmpty;
+      s.checksum = 0;
+      PersistFence(&s, sizeof(s));
       continue;
     }
     if (s.state == kLogAllocPending) {
       PPtr<uint64_t> dest(s.dest);
       PPtr<void> block(s.block);
       if (!block.IsNull()) {
-        bool attached = !dest.IsNull() && *dest.get() == s.block;
+        // |dest| may live in another pool (cross-heap malloc-to): recovery
+        // runs only after all of the index's pools are mapped (deferred log
+        // recovery), and a dest in a pool that is gone entirely cannot hold a
+        // reachable attachment -- roll back.
+        bool attached = !dest.IsNull() && GetPoolBase(dest.pool()) != nullptr &&
+                        *dest.get() == s.block;
         if (!attached) {
           // Roll back: release the block.
           FreeInternal(block.offset(), /*log=*/false);
@@ -245,8 +305,21 @@ void PmemPool::RecoverLogs() {
       }
     }
     s.state = kLogEmpty;
-    PersistFence(&s.state, sizeof(s.state));
+    s.checksum = 0;
+    PersistFence(&s, sizeof(s));
   }
+}
+
+size_t PmemPool::PendingLogEntries() const {
+  const PoolHeader* h = header();
+  const AllocLogSlot* logs = Logs();
+  size_t pending = 0;
+  for (uint32_t i = 0; i < h->log_slots; ++i) {
+    if (logs[i].state != kLogEmpty) {
+      pending++;
+    }
+  }
+  return pending;
 }
 
 // ---------------------------------------------------------------------------
@@ -271,7 +344,7 @@ void PmemPool::ReleaseLogSlot(int slot) {
   log_busy_[slot].store(0, std::memory_order_release);
 }
 
-uint64_t PmemPool::TryAllocInChunk(uint32_t chunk, size_t class_idx) {
+uint64_t PmemPool::TryAllocInChunk(uint32_t chunk, size_t class_idx, bool persist_meta) {
   size_t block_size = kSizeClasses[class_idx];
   uint32_t blocks = static_cast<uint32_t>(kChunkSize / block_size);
   uint32_t words = (blocks + 63) / 64;
@@ -291,7 +364,7 @@ uint64_t PmemPool::TryAllocInChunk(uint32_t chunk, size_t class_idx) {
       int bit = __builtin_ctzll(free_bits);
       uint64_t want = cur | (1ULL << bit);
       if (AtomicRef64(&bm[w]).compare_exchange_weak(cur, want, std::memory_order_acq_rel)) {
-        if (crash_consistent_) {
+        if (persist_meta && crash_consistent_) {
           PersistFence(&bm[w], sizeof(uint64_t));
         }
         classes_[class_idx].hint.store(w, std::memory_order_relaxed);
@@ -336,7 +409,7 @@ int PmemPool::AcquireChunk(size_t class_idx) {
   return static_cast<int>(c);
 }
 
-uint64_t PmemPool::AllocWholeChunks(size_t size) {
+uint64_t PmemPool::AllocWholeChunks(size_t size, bool persist_meta) {
   uint32_t span = static_cast<uint32_t>((size + kChunkSize - 1) / kChunkSize);
   std::lock_guard<std::mutex> lock(mu_);
   if (free_chunks_.size() < span) {
@@ -367,7 +440,7 @@ uint64_t PmemPool::AllocWholeChunks(size_t size) {
     bm[0] = 1;
     // Record the span in the head bitmap's second word for BlockSize/Free.
     bm[1] = span;
-    if (crash_consistent_) {
+    if (persist_meta && crash_consistent_) {
       PersistRange(bm, 2 * sizeof(uint64_t));
       PersistFence(states + start, span * sizeof(uint32_t));
     }
@@ -385,19 +458,19 @@ uint64_t PmemPool::AllocWholeChunks(size_t size) {
   return 0;
 }
 
-uint64_t PmemPool::AllocOffset(size_t size) {
+uint64_t PmemPool::AllocOffset(size_t size, bool persist_meta) {
   if (size == 0) {
     size = 1;
   }
   size_t class_idx = SizeClassFor(size);
   if (class_idx == kNumClasses) {
-    return AllocWholeChunks(size);
+    return AllocWholeChunks(size, persist_meta);
   }
   ClassState& cs = classes_[class_idx];
   for (int attempts = 0; attempts < 1024; ++attempts) {
     int64_t chunk = cs.current.load(std::memory_order_acquire);
     if (chunk >= 0) {
-      uint64_t off = TryAllocInChunk(static_cast<uint32_t>(chunk), class_idx);
+      uint64_t off = TryAllocInChunk(static_cast<uint32_t>(chunk), class_idx, persist_meta);
       if (off != 0) {
         return off;
       }
@@ -410,8 +483,8 @@ uint64_t PmemPool::AllocOffset(size_t size) {
   return 0;
 }
 
-PPtr<void> PmemPool::Alloc(size_t size) {
-  uint64_t off = AllocOffset(size);
+PPtr<void> PmemPool::AllocInternal(size_t size, bool persist_meta) {
+  uint64_t off = AllocOffset(size, persist_meta);
   if (off == 0) {
     return PPtr<void>::Null();
   }
@@ -422,6 +495,28 @@ PPtr<void> PmemPool::Alloc(size_t size) {
   live_bytes_.fetch_add(BlockSize(off), std::memory_order_relaxed);
   LocalNvmCounters().alloc_ops++;
   return PPtr<void>::FromParts(pool_id_, off);
+}
+
+PPtr<void> PmemPool::Alloc(size_t size) { return AllocInternal(size, /*persist_meta=*/true); }
+
+void PmemPool::PersistBlockMetadata(uint64_t offset) {
+  if (!crash_consistent_) {
+    return;
+  }
+  PoolHeader* h = header();
+  uint32_t chunk = static_cast<uint32_t>((offset - h->data_off) / kChunkSize);
+  uint32_t st = ChunkStates()[chunk];
+  uint64_t* bm = BitmapOf(chunk);
+  if (st == kChunkStateWhole) {
+    uint32_t span = static_cast<uint32_t>(bm[1]);
+    PersistRange(bm, 2 * sizeof(uint64_t));
+    PersistFence(ChunkStates() + chunk, span * sizeof(uint32_t));
+  } else if (st >= 1 && st <= kNumClasses) {
+    size_t block_size = kSizeClasses[st - 1];
+    uint32_t block_idx = static_cast<uint32_t>(
+        (offset - h->data_off - uint64_t{chunk} * kChunkSize) / block_size);
+    PersistFence(&bm[block_idx / 64], sizeof(uint64_t));
+  }
 }
 
 PPtr<void> PmemPool::AllocTo(PPtr<uint64_t> dest, size_t size) {
@@ -437,33 +532,37 @@ PPtr<void> PmemPool::AllocTo(PPtr<uint64_t> dest, size_t size) {
   if (slot_idx < 0) {
     return PPtr<void>::Null();
   }
-  AllocLogSlot& slot = Logs()[slot_idx];
-  // (1) publish intent
-  slot.dest = dest.raw;
-  slot.block = 0;
-  slot.size = size;
-  PersistRange(&slot, sizeof(slot));
-  slot.state = kLogAllocPending;
-  PersistFence(&slot, sizeof(slot));
-  // (2) take a block (bitmap word persisted inside)
-  PPtr<void> block = Alloc(size);
+  // (1) reserve a block, bitmap *not* yet persisted: until the log entry below
+  // is durable there must be no durable trace of the block, otherwise a crash
+  // here leaks it (log empty, bit set, nobody pointing at it).
+  PPtr<void> block = AllocInternal(size, /*persist_meta=*/false);
   if (block.IsNull()) {
-    slot.state = kLogEmpty;
-    PersistFence(&slot.state, sizeof(slot.state));
     ReleaseLogSlot(slot_idx);
     return block;
   }
-  // (3) record the block in the log -- from here the block cannot leak
+  AllocLogSlot& slot = Logs()[slot_idx];
+  // (2) publish the complete entry -- payload, state, checksum -- in one
+  // fence. From here the block cannot leak: recovery either rolls it back
+  // (not attached) or keeps it (attached). A torn commit of this line fails
+  // the checksum and reads as "never happened", matching the volatile bitmap.
+  slot.dest = dest.raw;
   slot.block = block.raw;
-  PersistFence(&slot.block, sizeof(slot.block));
+  slot.size = size;
+  slot.state = kLogAllocPending;
+  slot.checksum = AllocSlotChecksum(slot);
+  PersistFence(&slot, sizeof(slot));
+  // (3) now make the reservation durable
+  PersistBlockMetadata(block.offset());
   // (4) attach to the destination word
   if (!dest.IsNull()) {
     std::atomic_ref<uint64_t>(*dest.get()).store(block.raw, std::memory_order_release);
     PersistFence(dest.get(), sizeof(uint64_t));
   }
-  // (5) retire the log entry
+  // (5) retire: state and checksum durably cleared together, so slot reuse can
+  // never resurrect this entry via a torn write.
   slot.state = kLogEmpty;
-  PersistFence(&slot.state, sizeof(slot.state));
+  slot.checksum = 0;
+  PersistFence(&slot, sizeof(slot));
   ReleaseLogSlot(slot_idx);
   return block;
 }
@@ -508,8 +607,8 @@ void PmemPool::FreeInternal(uint64_t offset, bool log) {
       slot.dest = 0;
       slot.block = PPtr<void>::FromParts(pool_id_, offset).raw;
       slot.size = 0;
-      PersistRange(&slot, sizeof(slot));
       slot.state = kLogFreePending;
+      slot.checksum = AllocSlotChecksum(slot);
       PersistFence(&slot, sizeof(slot));
     }
   }
@@ -557,7 +656,8 @@ void PmemPool::FreeInternal(uint64_t offset, bool log) {
   if (slot_idx >= 0) {
     AllocLogSlot& slot = Logs()[slot_idx];
     slot.state = kLogEmpty;
-    PersistFence(&slot.state, sizeof(slot.state));
+    slot.checksum = 0;
+    PersistFence(&slot, sizeof(slot));
     ReleaseLogSlot(slot_idx);
   }
 }

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/checksum.h"
+#include "src/common/status.h"
 #include "src/nvm/pool_file.h"
 #include "src/pmem/pptr.h"
 
@@ -57,13 +59,19 @@ struct PoolHeader {
 };
 static_assert(sizeof(PoolHeader) == 1024 + kRootAreaSize, "header layout");
 
-// Persistent allocation/free log entry (the malloc-to protocol).
+// Persistent allocation/free log entry (the malloc-to protocol). The whole
+// entry -- payload, state, and checksum -- is published with one fence and the
+// checksum is durably zeroed at retirement, so a torn line write (8 B
+// granularity) can never pair a fresh state word with stale payload words that
+// recovery would act on: any partial commit fails the checksum and the entry
+// is discarded.
 struct AllocLogSlot {
-  uint64_t state;  // kLogEmpty / kLogAllocPending / kLogFreePending
-  uint64_t dest;   // raw PPtr of the destination word (alloc) or 0
-  uint64_t block;  // raw PPtr of the block
+  uint64_t state;     // kLogEmpty / kLogAllocPending / kLogFreePending
+  uint64_t dest;      // raw PPtr of the destination word (alloc) or 0
+  uint64_t block;     // raw PPtr of the block
   uint64_t size;
-  uint8_t pad[32];
+  uint64_t checksum;  // LogChecksum over the four words above
+  uint8_t pad[24];
 };
 static_assert(sizeof(AllocLogSlot) == 64, "log slot is one cache line");
 
@@ -71,10 +79,20 @@ inline constexpr uint64_t kLogEmpty = 0;
 inline constexpr uint64_t kLogAllocPending = 1;
 inline constexpr uint64_t kLogFreePending = 2;
 
+inline uint64_t AllocSlotChecksum(const AllocLogSlot& s) {
+  return LogChecksum({s.state, s.dest, s.block, s.size});
+}
+
 struct PmemPoolOptions {
   size_t size = 0;              // 0 -> NvmConfig::pool_size
   bool crash_consistent = true;
   bool dram = false;            // anonymous DRAM region (Figure 12 "DRAM SL")
+  // Skip allocation-log recovery in Open; the caller invokes
+  // RecoverPendingLogs() once every pool the logs may reference is mapped. A
+  // pending malloc-to entry's |dest| can live in a *different* pool (PACTree's
+  // split allocates into an SMO-log-heap word), so recovering a pool the
+  // moment it is opened would dereference an unmapped persistent pointer.
+  bool defer_log_recovery = false;
 };
 
 struct PmemPoolStats {
@@ -88,9 +106,12 @@ class PmemPool {
   // Creates a fresh pool file (truncates an existing one).
   static std::unique_ptr<PmemPool> Create(const std::string& path, uint16_t pool_id,
                                           uint32_t node, const PmemPoolOptions& opts);
-  // Opens an existing pool, runs allocation-log recovery, bumps the generation.
-  static std::unique_ptr<PmemPool> Open(const std::string& path, uint16_t pool_id,
-                                        uint32_t node, const PmemPoolOptions& opts);
+  // Opens an existing pool, runs allocation-log recovery, bumps the
+  // generation. Validates the superblock (file size, magic, pool id, layout
+  // offsets) before touching anything else, so a truncated, zero-length, or
+  // foreign file yields Status::kCorrupted / kIoError instead of a crash.
+  static Status Open(const std::string& path, uint16_t pool_id, uint32_t node,
+                     const PmemPoolOptions& opts, std::unique_ptr<PmemPool>* out);
 
   ~PmemPool();
   PmemPool(const PmemPool&) = delete;
@@ -122,6 +143,14 @@ class PmemPool {
   size_t BlockSize(uint64_t offset) const;
   PmemPoolStats Stats() const;
 
+  // Number of alloc/free log entries not yet retired. Zero after recovery (and
+  // in any quiescent state): the invariant checker asserts the log is drained.
+  size_t PendingLogEntries() const;
+
+  // Runs (deferred) allocation-log recovery. Idempotent; call after every
+  // pool a pending entry's |dest| may reference has been mapped.
+  void RecoverPendingLogs() { RecoverLogs(); }
+
   // Total bytes of blocks currently allocated (approximate under concurrency).
   uint64_t LiveBytes() const { return live_bytes_.load(std::memory_order_relaxed); }
 
@@ -129,14 +158,17 @@ class PmemPool {
   PmemPool() = default;
 
   bool InitNew(uint16_t pool_id, uint32_t node, size_t size);
-  bool AttachExisting(uint16_t pool_id);
+  Status ValidateHeader(uint16_t pool_id) const;
+  bool AttachExisting(uint16_t pool_id, bool recover_logs);
   void RecoverLogs();
   void RebuildVolatileState();
 
-  uint64_t AllocOffset(size_t size);
-  uint64_t AllocWholeChunks(size_t size);
+  uint64_t AllocOffset(size_t size, bool persist_meta);
+  uint64_t AllocWholeChunks(size_t size, bool persist_meta);
   int AcquireChunk(size_t class_idx);
-  uint64_t TryAllocInChunk(uint32_t chunk, size_t class_idx);
+  uint64_t TryAllocInChunk(uint32_t chunk, size_t class_idx, bool persist_meta);
+  PPtr<void> AllocInternal(size_t size, bool persist_meta);
+  void PersistBlockMetadata(uint64_t offset);
   void FreeInternal(uint64_t offset, bool log);
 
   AllocLogSlot* Logs() const;

@@ -237,14 +237,27 @@ uint64_t PmwcasPool::ReadWord(uint64_t* addr) {
 void PmwcasPool::Recover() {
   for (size_t i = 0; i < capacity_; ++i) {
     PmwcasDescriptor* desc = &descs_[i];
-    if (desc->count == 0) {
+    // The fill fence can tear (128 B descriptor, 8 B commit granularity):
+    // count may land without some word entries, whose fields then read as
+    // zero (virgin slot) or stale (recycled slot). Such a descriptor was
+    // never installed into any target word -- installation starts only after
+    // the fill fence completes -- so entries that do not resolve are skipped
+    // and the |cur == installed| test rejects the stale ones.
+    uint32_t n = desc->count;
+    if (n == 0) {
       continue;
+    }
+    if (n > kPmwcasMaxWords) {
+      n = kPmwcasMaxWords;
     }
     uint64_t st = desc->status & ~kPmwcasDirtyFlag;
     uint64_t installed = DescRaw(desc);
     // Undecided rolls back; succeeded rolls forward.
-    for (uint32_t w = 0; w < desc->count; ++w) {
+    for (uint32_t w = 0; w < n; ++w) {
       uint64_t* addr = PPtr<uint64_t>(desc->words[w].addr_raw).get();
+      if (addr == nullptr) {
+        continue;  // torn fill: this entry never reached a target word
+      }
       uint64_t cur = *addr & ~kPmwcasDirtyFlag;
       if (cur == (installed & ~kPmwcasDirtyFlag)) {
         *addr = st == kPmwcasSucceeded ? desc->words[w].new_val

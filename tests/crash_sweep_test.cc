@@ -1,0 +1,306 @@
+// Exhaustive crash-point sweeps (RECIPE-style) over the fault-injection layer.
+//
+// For each trace (one index operation over a known base state) the harness
+// first runs a count-only fault window to discover N, the number of
+// persistence events the operation issues, then re-runs the trace once per
+// crash point K in [1, N]: the shadow image is frozen at event K, the pool
+// files are rebuilt from the captured images, the index is recovered from
+// them, and the generic invariant checker (src/index/verify.h) audits the
+// result. Every K of every trace must recover with zero violations, in all
+// three fault modes:
+//   strict -- nothing un-fenced survives;
+//   chaos  -- plus random cache-line evictions at the crash instant;
+//   torn   -- the event-K line/fence commits partially (8 B atomicity).
+//
+// Traces: PACTree single insert, leaf split, leaf merge, and delete, plus an
+// insert-that-splits trace for each baseline (FastFair, FP-Tree, BzTree).
+// Single-threaded with synchronous SMO application, so the event numbering is
+// identical run to run and the sweep is genuinely exhaustive.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/index/range_index.h"
+#include "src/index/verify.h"
+#include "src/nvm/config.h"
+#include "src/nvm/fault.h"
+#include "src/nvm/shadow.h"
+#include "src/nvm/topology.h"
+#include "src/pmem/heap.h"
+#include "src/pmem/pool.h"
+#include "src/sync/epoch.h"
+
+namespace pactree {
+namespace {
+
+void OverwriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  int fd = ::open(path.c_str(), O_WRONLY);
+  ASSERT_GE(fd, 0) << path;
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t w = ::pwrite(fd, bytes.data() + off, bytes.size() - off,
+                         static_cast<off_t>(off));
+    ASSERT_GT(w, 0);
+    off += static_cast<size_t>(w);
+  }
+  ::close(fd);
+}
+
+// One trace: |setup| builds the acknowledged base state (fully fenced, so it
+// is durable in the shadow image), |window| runs the single operation under
+// the armed fault window and records its key(s) as in-flight.
+struct SweepScenario {
+  std::function<void(RangeIndex*, RecoveryExpectation*)> setup;
+  std::function<void(RangeIndex*, RecoveryExpectation*)> window;
+};
+
+void InsertAcked(RangeIndex* idx, RecoveryExpectation* exp, uint64_t k, uint64_t v) {
+  ASSERT_EQ(idx->Insert(Key::FromInt(k), v), Status::kOk) << k;
+  exp->acked[Key::FromInt(k)] = v;
+}
+
+void RemoveAcked(RangeIndex* idx, RecoveryExpectation* exp, uint64_t k) {
+  ASSERT_EQ(idx->Remove(Key::FromInt(k)), Status::kOk) << k;
+  exp->acked.erase(Key::FromInt(k));
+  exp->removed.push_back(Key::FromInt(k));
+}
+
+class CrashSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GlobalNvmConfig() = NvmConfig();
+    GlobalNvmConfig().numa_nodes = 1;  // one pool per heap keeps captures simple
+    SetCurrentNumaNode(0);
+  }
+
+  void TearDown() override {
+    FaultInjector::Disarm();
+    ShadowHeap::Disable();
+    EpochManager::Instance().DrainAll();
+    for (IndexKind kind : {IndexKind::kPacTree, IndexKind::kFastFair,
+                           IndexKind::kFpTree, IndexKind::kBzTree}) {
+      DestroyIndex(kind, IndexName(kind));
+    }
+  }
+
+  static std::string IndexName(IndexKind kind) {
+    return std::string("sweep_") + IndexKindName(kind);
+  }
+
+  std::unique_ptr<RangeIndex> OpenIndex(IndexKind kind, bool open_existing) {
+    IndexFactoryOptions o;
+    o.name = IndexName(kind);
+    o.pool_id_base = static_cast<uint16_t>(400 + 32 * static_cast<int>(kind));
+    o.pool_size = 32 << 20;
+    o.per_numa_pools = false;
+    // Synchronous SMO application: all persistence events of a split/merge
+    // land on the arming thread, making the event numbering deterministic.
+    o.pactree_async_update = false;
+    o.open_existing = open_existing;
+    return CreateIndex(kind, o);
+  }
+
+  // Builds the trace's base state, arms the window, runs the operation,
+  // captures the (possibly frozen) durable image, rebuilds the pool files and
+  // recovers. Returns the window's event count; reports checker violations as
+  // test failures tagged with (kind, mode, K).
+  uint64_t RunCrashPoint(IndexKind kind, const SweepScenario& sc, FaultMode mode,
+                         uint64_t crash_event, uint64_t seed) {
+    DestroyIndex(kind, IndexName(kind));
+    auto index = OpenIndex(kind, /*open_existing=*/false);
+    EXPECT_NE(index, nullptr);
+    if (index == nullptr) {
+      return 0;
+    }
+    RecoveryExpectation exp;
+    sc.setup(index.get(), &exp);
+    index->Drain();
+
+    struct PoolInfo {
+      std::string path;
+      void* base;
+    };
+    std::vector<PoolInfo> pools;
+    for (PmemHeap* heap : index->Heaps()) {
+      for (uint32_t i = 0; i < heap->pool_count(); ++i) {
+        PmemPool* pool = heap->pool(i);
+        ShadowHeap::Enable(pool->base(), pool->size());
+        pools.push_back({pool->path(), pool->base()});
+      }
+    }
+    EXPECT_FALSE(pools.empty()) << "index exposes no heaps to shadow";
+
+    CrashPlan plan;
+    plan.mode = mode;
+    plan.crash_event = crash_event;
+    plan.seed = seed;
+    FaultInjector::Arm(plan);
+    sc.window(index.get(), &exp);
+    uint64_t events = FaultInjector::EventCount();
+    bool triggered = FaultInjector::Triggered();
+    FaultInjector::Disarm();
+    EXPECT_EQ(triggered, crash_event != 0 && crash_event <= events)
+        << "crash_event=" << crash_event << " events=" << events;
+
+    // Mode side effects (evictions, torn lines) were applied by the injector
+    // at the crash instant; the frozen image is captured as-is.
+    std::vector<std::vector<uint8_t>> images;
+    for (const PoolInfo& p : pools) {
+      images.push_back(ShadowHeap::CaptureRegion(p.base, CrashMode::kStrict));
+      EXPECT_FALSE(images.back().empty());
+    }
+    index.reset();
+    EpochManager::Instance().DrainAll();
+    ShadowHeap::Disable();
+    for (size_t i = 0; i < pools.size(); ++i) {
+      OverwriteFile(pools[i].path, images[i]);
+    }
+
+    auto recovered = OpenIndex(kind, /*open_existing=*/true);
+    EXPECT_NE(recovered, nullptr)
+        << IndexName(kind) << " recovery failed at K=" << crash_event;
+    if (recovered != nullptr) {
+      VerifyReport report = VerifyRecoveredIndex(*recovered, exp);
+      EXPECT_TRUE(report.ok())
+          << IndexName(kind) << " mode=" << static_cast<int>(mode)
+          << " K=" << crash_event << "/" << events << ": " << report.ToString();
+      recovered.reset();
+    }
+    EpochManager::Instance().DrainAll();
+    return events;
+  }
+
+  // Exhaustive sweep: discover N with a count-only window, then crash at
+  // every K in [1, N].
+  void Sweep(IndexKind kind, const SweepScenario& sc, FaultMode mode) {
+    uint64_t n = RunCrashPoint(kind, sc, mode, /*crash_event=*/0, /*seed=*/0);
+    ASSERT_GT(n, 0u) << "operation issued no persistence events";
+    for (uint64_t k = 1; k <= n; ++k) {
+      RunCrashPoint(kind, sc, mode, k, /*seed=*/0x9e3779b9ULL * k + 1);
+      if (HasFatalFailure()) {
+        return;
+      }
+    }
+  }
+
+  void SweepAllModes(IndexKind kind, const SweepScenario& sc) {
+    for (FaultMode mode : {FaultMode::kStrict, FaultMode::kChaos, FaultMode::kTorn}) {
+      Sweep(kind, sc, mode);
+      if (HasFatalFailure() || HasNonfatalFailure()) {
+        return;  // one failing mode produces enough diagnostics
+      }
+    }
+  }
+};
+
+// --- PACTree traces ---------------------------------------------------------
+
+TEST_F(CrashSweepTest, PacTreeInsert) {
+  SweepScenario sc;
+  sc.setup = [](RangeIndex* idx, RecoveryExpectation* exp) {
+    for (uint64_t i = 1; i <= 3; ++i) {
+      InsertAcked(idx, exp, i * 70, i * 70 + 1);
+    }
+  };
+  sc.window = [](RangeIndex* idx, RecoveryExpectation* exp) {
+    idx->Insert(Key::FromInt(100), 101);
+    exp->inflight[Key::FromInt(100)] = 101;
+  };
+  SweepAllModes(IndexKind::kPacTree, sc);
+}
+
+TEST_F(CrashSweepTest, PacTreeSplit) {
+  // 64 keys fill one data node (kDataNodeEntries); the window insert has no
+  // free slot and must split.
+  SweepScenario sc;
+  sc.setup = [](RangeIndex* idx, RecoveryExpectation* exp) {
+    for (uint64_t i = 1; i <= 64; ++i) {
+      InsertAcked(idx, exp, i * 10, i * 10 + 1);
+    }
+  };
+  sc.window = [](RangeIndex* idx, RecoveryExpectation* exp) {
+    idx->Insert(Key::FromInt(645), 646);
+    exp->inflight[Key::FromInt(645)] = 646;
+  };
+  SweepAllModes(IndexKind::kPacTree, sc);
+}
+
+TEST_F(CrashSweepTest, PacTreeMerge) {
+  // Build two sibling data nodes, then delete down to exactly the merge
+  // threshold (kMergeThreshold = 24 combined live keys) so the window remove
+  // is the one that triggers the merge.
+  SweepScenario sc;
+  sc.setup = [](RangeIndex* idx, RecoveryExpectation* exp) {
+    for (uint64_t i = 1; i <= 64; ++i) {
+      InsertAcked(idx, exp, i * 10, i * 10 + 1);
+    }
+    InsertAcked(idx, exp, 650, 651);  // 65th key: splits into 32 + 33
+    for (uint64_t i = 1; i <= 20; ++i) {
+      RemoveAcked(idx, exp, i * 10);  // left node: 32 -> 12
+    }
+    for (uint64_t i = 33; i <= 53; ++i) {
+      RemoveAcked(idx, exp, i * 10);  // right node: 33 -> 12
+    }
+  };
+  sc.window = [](RangeIndex* idx, RecoveryExpectation* exp) {
+    // 23 combined live keys after this remove: merge fires.
+    idx->Remove(Key::FromInt(210));
+    exp->acked.erase(Key::FromInt(210));
+    exp->inflight[Key::FromInt(210)] = 211;
+  };
+  SweepAllModes(IndexKind::kPacTree, sc);
+}
+
+TEST_F(CrashSweepTest, PacTreeDelete) {
+  SweepScenario sc;
+  sc.setup = [](RangeIndex* idx, RecoveryExpectation* exp) {
+    for (uint64_t i = 1; i <= 10; ++i) {
+      InsertAcked(idx, exp, i * 10, i * 10 + 1);
+    }
+  };
+  sc.window = [](RangeIndex* idx, RecoveryExpectation* exp) {
+    idx->Remove(Key::FromInt(50));
+    exp->acked.erase(Key::FromInt(50));
+    exp->inflight[Key::FromInt(50)] = 51;
+  };
+  SweepAllModes(IndexKind::kPacTree, sc);
+}
+
+// --- Baseline insert+split traces -------------------------------------------
+//
+// Each setup fills one leaf exactly (kFfCardinality = 30, kFpLeafSlots = 32,
+// kBzMaxRecords = 48 > kBzConsolidateMax, so the replacement splits); the
+// window insert finds the leaf full and performs the structure modification.
+
+SweepScenario BaselineSplitScenario(uint64_t leaf_capacity) {
+  SweepScenario sc;
+  sc.setup = [leaf_capacity](RangeIndex* idx, RecoveryExpectation* exp) {
+    for (uint64_t i = 1; i <= leaf_capacity; ++i) {
+      InsertAcked(idx, exp, i * 10, i * 10 + 1);
+    }
+  };
+  sc.window = [leaf_capacity](RangeIndex* idx, RecoveryExpectation* exp) {
+    uint64_t k = (leaf_capacity + 1) * 10;
+    idx->Insert(Key::FromInt(k), k + 1);
+    exp->inflight[Key::FromInt(k)] = k + 1;
+  };
+  return sc;
+}
+
+TEST_F(CrashSweepTest, FastFairInsertSplit) {
+  SweepAllModes(IndexKind::kFastFair, BaselineSplitScenario(30));
+}
+
+TEST_F(CrashSweepTest, FpTreeInsertSplit) {
+  SweepAllModes(IndexKind::kFpTree, BaselineSplitScenario(32));
+}
+
+TEST_F(CrashSweepTest, BzTreeInsertSplit) {
+  SweepAllModes(IndexKind::kBzTree, BaselineSplitScenario(48));
+}
+
+}  // namespace
+}  // namespace pactree

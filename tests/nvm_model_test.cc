@@ -2,11 +2,15 @@
 // pacing, and generation alignment (gen_sync).
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 #include "src/common/clock.h"
 #include "src/nvm/bandwidth.h"
 #include "src/nvm/config.h"
 #include "src/nvm/persist.h"
 #include "src/nvm/pool_file.h"
+#include "src/nvm/shadow.h"
 #include "src/nvm/stats.h"
 #include "src/nvm/topology.h"
 #include "src/pmem/heap.h"
@@ -132,6 +136,41 @@ TEST_F(NvmModelTest, RemoteAccessCountsAgainstOtherNode) {
   AnnotateNvmRead(static_cast<char*>(f.base()) + 4096, 1024);
   d = GlobalNvmStats() - before;
   EXPECT_EQ(d.remote_reads, 0u);
+  f.Close();
+  NvmPoolFile::Remove(path);
+}
+
+TEST_F(NvmModelTest, ChaosCaptureIsDeterministicForSeed) {
+  // Eviction decisions must be a pure function of (seed, region, line offset):
+  // a crash-point sweep re-runs the same trace with the same seed and relies
+  // on observing the same durable image both times (regression test for the
+  // draw-count-dependent eviction sampling this replaced).
+  std::string path = NvmConfig::DefaultPoolDir() + "/nvm_model_chaos.pool";
+  NvmPoolFile f;
+  ASSERT_TRUE(f.Create(path, 1 << 20, 0, 7));
+  char* base = static_cast<char*>(f.base());
+  auto run = [&](uint64_t seed) {
+    std::memset(base, 0, 1 << 20);
+    ShadowHeap::Enable(base, 1 << 20);
+    for (int i = 0; i < 1024; ++i) {
+      base[i * 64] = static_cast<char>(i | 1);
+      if (i % 3 == 0) {
+        PersistRange(base + i * 64, 1);  // fenced below: durable
+      }
+    }
+    Fence();
+    for (int i = 0; i < 1024; ++i) {
+      base[i * 64 + 1] = 7;  // never flushed: survives only via chaos eviction
+    }
+    std::vector<uint8_t> img = ShadowHeap::Capture(CrashMode::kChaos, seed, 0.2);
+    ShadowHeap::Disable();
+    return img;
+  };
+  std::vector<uint8_t> a = run(42);
+  std::vector<uint8_t> b = run(42);
+  std::vector<uint8_t> c = run(43);
+  EXPECT_EQ(a, b) << "same seed must evict the same lines";
+  EXPECT_NE(a, c) << "different seeds must pick different eviction sets";
   f.Close();
   NvmPoolFile::Remove(path);
 }

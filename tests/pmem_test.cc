@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <thread>
 #include <vector>
@@ -142,7 +144,8 @@ TEST_F(PmemTest, PersistentAcrossReopen) {
     PersistFence(p.get(), 11);
   }
   {
-    auto pool = PmemPool::Open(path, 15, 0, opts);
+    std::unique_ptr<PmemPool> pool;
+    ASSERT_EQ(PmemPool::Open(path, 15, 0, opts, &pool), Status::kOk);
     ASSERT_NE(pool, nullptr);
     EXPECT_EQ(pool->generation(), gen1 + 1) << "generation bumps on open";
     PPtr<char> p = PPtr<char>::FromParts(15, off);
@@ -226,10 +229,12 @@ TEST_F(PmemTest, InterruptedAllocToRollsBackOnRecovery) {
     logs[0].block = PPtr<void>::FromParts(19, leaked_off).raw;
     logs[0].size = 4096;
     logs[0].state = kLogAllocPending;
+    logs[0].checksum = AllocSlotChecksum(logs[0]);
     PersistFence(&logs[0], sizeof(AllocLogSlot));
   }
   {
-    auto pool = PmemPool::Open(path, 19, 0, opts);
+    std::unique_ptr<PmemPool> pool;
+    ASSERT_EQ(PmemPool::Open(path, 19, 0, opts, &pool), Status::kOk);
     ASSERT_NE(pool, nullptr);
     // Recovery must have rolled the allocation back; allocating until
     // exhaustion must hand the same offset out again at some point.
@@ -269,11 +274,13 @@ TEST_F(PmemTest, CompletedAllocToSurvivesRecovery) {
     logs[0].block = block.raw;
     logs[0].size = 4096;
     logs[0].state = kLogAllocPending;
+    logs[0].checksum = AllocSlotChecksum(logs[0]);
     PersistFence(&logs[0], sizeof(AllocLogSlot));
     PersistFence(root, sizeof(*root));
   }
   {
-    auto pool = PmemPool::Open(path, 20, 0, opts);
+    std::unique_ptr<PmemPool> pool;
+    ASSERT_EQ(PmemPool::Open(path, 20, 0, opts, &pool), Status::kOk);
     ASSERT_NE(pool, nullptr);
     auto* root = static_cast<uint64_t*>(pool->RootArea());
     PPtr<void> attached(*root);
@@ -379,6 +386,50 @@ TEST_F(PmemTest, DramHeapHasNoMediaTraffic) {
   NvmStatsSnapshot d = GlobalNvmStats() - before;
   EXPECT_EQ(d.flushes, 0u);
   EXPECT_EQ(d.media_write_bytes, 0u);
+}
+
+TEST_F(PmemTest, OpenRejectsCorruptPoolFiles) {
+  std::string path = TestPath("pmem_corrupt.pool");
+  PmemPoolOptions opts;
+  opts.size = 8 << 20;
+  {
+    auto pool = PmemPool::Create(path, 17, 0, opts);
+    ASSERT_NE(pool, nullptr);
+    ASSERT_FALSE(pool->Alloc(100).IsNull());
+  }
+  std::unique_ptr<PmemPool> out;
+  // Missing file is reported as such, not as corruption.
+  EXPECT_EQ(PmemPool::Open(TestPath("pmem_no_such.pool"), 17, 0, opts, &out),
+            Status::kNotFound);
+  // A foreign pool id must be rejected: silently adopting another pool's file
+  // would scramble every persistent pointer into it.
+  EXPECT_EQ(PmemPool::Open(path, 18, 0, opts, &out), Status::kCorrupted);
+  EXPECT_EQ(out, nullptr);
+  // The file itself is intact.
+  EXPECT_EQ(PmemPool::Open(path, 17, 0, opts, &out), Status::kOk);
+  ASSERT_NE(out, nullptr);
+  out.reset();
+  // Truncated mid-header: too small for a PoolHeader.
+  std::filesystem::resize_file(path, 512);
+  EXPECT_EQ(PmemPool::Open(path, 17, 0, opts, &out), Status::kCorrupted);
+  EXPECT_EQ(out, nullptr);
+  // Zero length: cannot even be mapped.
+  std::filesystem::resize_file(path, 0);
+  EXPECT_EQ(PmemPool::Open(path, 17, 0, opts, &out), Status::kCorrupted);
+  NvmPoolFile::Remove(path);
+  // Bad magic (e.g., a foreign file at the pool's path).
+  {
+    auto pool = PmemPool::Create(path, 17, 0, opts);
+    ASSERT_NE(pool, nullptr);
+  }
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    uint64_t junk = 0x6b6e756a6b6e756aULL;
+    f.write(reinterpret_cast<const char*>(&junk), sizeof(junk));
+  }
+  EXPECT_EQ(PmemPool::Open(path, 17, 0, opts, &out), Status::kCorrupted);
+  NvmPoolFile::Remove(path);
 }
 
 }  // namespace
