@@ -11,7 +11,8 @@
 
 using namespace pactree;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   Banner("Ablation", "data-node lookup: fingerprint SIMD filter vs full key scan");
   ConfigureNvmMachine(/*latency=*/false);
   PmemHeap::Destroy("abl_fp");

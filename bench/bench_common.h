@@ -16,10 +16,27 @@
 #include "src/index/range_index.h"
 #include "src/nvm/config.h"
 #include "src/nvm/bandwidth.h"
+#include "src/nvm/topology.h"
 #include "src/sync/epoch.h"
 #include "src/workload/ycsb.h"
 
 namespace pactree {
+
+// Flags shared by every figure binary:
+//   --pin  pin worker threads to CPUs, round-robin across the logical NUMA
+//          nodes (also enabled by PAC_PIN=1). Placement is deterministic:
+//          worker i lands on logical node i % nodes and on seat i / nodes of
+//          that node's contiguous CPU group, so a rerun reproduces the same
+//          thread-to-CPU map.
+inline void ParseBenchFlags(int argc, char** argv) {
+  bool pin = EnvU64("PAC_PIN", 0) != 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--pin") {
+      pin = true;
+    }
+  }
+  SetThreadPinning(pin);
+}
 
 struct BenchScale {
   uint64_t keys;

@@ -8,7 +8,8 @@
 
 using namespace pactree;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   Banner("Figure 2", "FastFair YCSB-A throughput: directory vs snoop coherence");
   BenchScale scale = ReadScale(500'000, 300'000);
   std::printf("%-10s %10s %14s %14s %16s\n", "protocol", "threads", "Mops/s",

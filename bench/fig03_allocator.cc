@@ -62,7 +62,8 @@ double RunLoad(bool crash_consistent, uint64_t keys, uint32_t threads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   Banner("Figure 3", "PDL-ART insert-only: crash-consistent (PMDK-like) vs transient (Jemalloc-like) allocator");
   BenchScale scale = ReadScale(1'000'000, 1'000'000, "4");
   ConfigureNvmMachine();

@@ -10,7 +10,8 @@
 
 using namespace pactree;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   Banner("Figure 4", "lookup throughput and NVM reads: FastFair vs PDL-ART");
 
   // --- Eq. (1)/(2) analytic model table -----------------------------------

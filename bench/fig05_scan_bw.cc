@@ -7,7 +7,8 @@
 
 using namespace pactree;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   Banner("Figure 5", "scan throughput and NVM reads: FastFair vs PDL-ART");
   BenchScale scale = ReadScale(1'000'000, 100'000, "4");
   uint32_t threads = scale.threads.back();

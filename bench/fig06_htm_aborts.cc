@@ -32,7 +32,8 @@ class FpTreeBenchIndex : public RangeIndex {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   Banner("Figure 6", "FP-Tree throughput and HTM aborts/op: small vs large data set");
   BenchScale scale = ReadScale(1'000'000, 300'000);
   uint64_t small_keys = std::max<uint64_t>(scale.keys / 8, 10'000);

@@ -4,7 +4,8 @@
 
 using namespace pactree;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   Banner("Figure 10", "YCSB (integer keys, Zipfian) thread-scaling, all indexes");
   BenchScale scale = ReadScale(1'000'000, 300'000);
   YcsbDriver::PrintHeader();

@@ -8,7 +8,8 @@
 
 using namespace pactree;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   Banner("Figure 11", "uniform YCSB on a low-bandwidth NVM machine (1/3 bandwidth)");
   BenchScale scale = ReadScale(1'000'000, 200'000, "4");
   uint32_t threads = scale.threads.back();

@@ -31,7 +31,8 @@ constexpr Variant kVariants[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   Banner("Figure 12", "factor analysis: ART(SC) -> full PACTree -> DRAM search layer");
   BenchScale scale = ReadScale(1'000'000, 300'000, "4");
   uint32_t threads = scale.threads.back();

@@ -7,7 +7,8 @@
 
 using namespace pactree;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   Banner("Figure 13", "latency percentiles per index and workload");
   BenchScale scale = ReadScale(1'000'000, 300'000, "4");
   uint32_t threads = scale.threads.back();

@@ -6,7 +6,8 @@
 
 using namespace pactree;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   Banner("Figure 14", "single-threaded throughput, integer and string keys");
   BenchScale scale = ReadScale(500'000, 300'000, "1");
   std::printf("%-10s %-8s", "index", "keys");

@@ -8,7 +8,8 @@
 
 using namespace pactree;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   Banner("Figure 15", "PACTree throughput vs Zipfian coefficient");
   BenchScale scale = ReadScale(500'000, 150'000, "2 4");
   std::printf("%-22s %8s", "mix", "threads");

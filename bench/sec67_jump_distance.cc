@@ -9,7 +9,8 @@
 
 using namespace pactree;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   Banner("Section 6.7", "jump-node distance under async search-layer updates");
   BenchScale scale = ReadScale(400'000, 400'000);
   uint32_t threads = scale.threads.back();

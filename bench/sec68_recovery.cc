@@ -154,7 +154,8 @@ int RunCrashPointSweep() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   Banner("Section 6.8", "SIGKILL crash-recovery loop");
   int iterations = static_cast<int>(EnvU64("PAC_CRASHES", 10));
   ConfigureNvmMachine(/*latency=*/false);

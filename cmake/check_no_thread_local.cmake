@@ -1,0 +1,34 @@
+# Lint: `thread_local` is allowed only inside src/runtime/ (the ThreadContext
+# layer owns the one TLS pointer). Everything else must hold per-thread state
+# in the thread's ThreadContext -- see src/runtime/thread_context.h and the
+# runtime-layer section of DESIGN.md.
+#
+# Run as: cmake -DSOURCE_DIR=<repo root> -P check_no_thread_local.cmake
+if(NOT SOURCE_DIR)
+  message(FATAL_ERROR "pass -DSOURCE_DIR=<repo root>")
+endif()
+
+file(GLOB_RECURSE sources
+  "${SOURCE_DIR}/src/*.h"
+  "${SOURCE_DIR}/src/*.cc")
+
+set(violations "")
+foreach(f IN LISTS sources)
+  if(f MATCHES "/src/runtime/")
+    continue()
+  endif()
+  file(STRINGS "${f}" hits REGEX "thread_local")
+  if(hits)
+    file(RELATIVE_PATH rel "${SOURCE_DIR}" "${f}")
+    foreach(line IN LISTS hits)
+      string(APPEND violations "  ${rel}: ${line}\n")
+    endforeach()
+  endif()
+endforeach()
+
+if(violations)
+  message(FATAL_ERROR
+    "thread_local found outside src/runtime/ -- move the state into "
+    "ThreadContext (src/runtime/thread_context.h):\n${violations}")
+endif()
+message(STATUS "no thread_local outside src/runtime/")

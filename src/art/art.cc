@@ -6,6 +6,7 @@
 #include "src/art/art_nodes.h"
 #include "src/nvm/persist.h"
 #include "src/pmem/registry.h"
+#include "src/runtime/thread_context.h"
 #include "src/sync/epoch.h"
 
 namespace pactree {
@@ -46,12 +47,13 @@ PdlArt::PdlArt(PmemHeap* heap, ArtTreeRoot* root)
 // ---------------------------------------------------------------------------
 
 int PdlArt::AcquireLogSlot(const Key& key) {
-  thread_local uint32_t start = 0;
+  // Per-(thread, trie) cursor so independent tries do not share scan positions.
+  uint64_t& start = ThreadContext::Current().InstanceWord(this);
   for (size_t i = 0; i < kArtAllocLogSlots; ++i) {
     size_t idx = (start + i) % kArtAllocLogSlots;
     uint8_t expected = 0;
     if (log_busy_[idx].compare_exchange_strong(expected, 1, std::memory_order_acquire)) {
-      start = static_cast<uint32_t>(idx + 1);
+      start = idx + 1;
       ArtAllocLogEntry& e = root_->alloc_log[idx];
       e.blocks[0] = 0;
       e.blocks[1] = 0;

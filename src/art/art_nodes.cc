@@ -14,6 +14,9 @@ inline uint64_t LoadSlot(const uint64_t* p) {
 inline uint8_t LoadByte(const uint8_t* p) {
   return std::atomic_ref<uint8_t>(*const_cast<uint8_t*>(p)).load(std::memory_order_acquire);
 }
+inline void StoreByte(uint8_t* p, uint8_t v) {
+  std::atomic_ref<uint8_t>(*p).store(v, std::memory_order_release);
+}
 inline uint16_t LoadCount(const ArtNode* n) {
   return std::atomic_ref<uint16_t>(const_cast<ArtNode*>(n)->count).load(std::memory_order_acquire);
 }
@@ -135,7 +138,7 @@ bool ArtAddChild(ArtNode* n, uint8_t b, uint64_t child) {
       uint64_t* children = n->type == kArtN4 ? reinterpret_cast<ArtNode4*>(n)->children
                                              : reinterpret_cast<ArtNode16*>(n)->children;
       uint16_t slot = n->count;
-      keys[slot] = b;
+      StoreByte(&keys[slot], b);
       Slot(&children[slot]).store(child, std::memory_order_release);
       // Persist the entry before making it visible through count (GA4: the
       // count store is the single-word visibility/durability pivot).
@@ -195,7 +198,7 @@ bool ArtRemoveChild(ArtNode* n, uint8_t b) {
           // Swap-remove: copy the last entry over the hole, persist, then
           // shrink count. A crash in between leaves a duplicate entry past the
           // new count, which is invisible.
-          keys[i] = keys[last];
+          StoreByte(&keys[i], keys[last]);
           Slot(&children[i]).store(children[last], std::memory_order_release);
           PersistRange(&keys[i], 1);
           PersistFence(&children[i], sizeof(uint64_t));

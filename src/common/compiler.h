@@ -26,6 +26,25 @@ inline void CpuRelax() {
 #define PACTREE_LIKELY(x) __builtin_expect(!!(x), 1)
 #define PACTREE_UNLIKELY(x) __builtin_expect(!!(x), 0)
 
+// Exempts a function from ThreadSanitizer instrumentation. Reserved for the
+// validated-optimistic-read pattern (seqlock-style): readers deliberately race
+// with in-place writers over multi-word slot data (SIMD fingerprint probes,
+// 36-byte key compares) and discard any observation whose version check fails.
+// The C++ memory model cannot express a validated racy read of non-atomic
+// aggregates, so both sides of the protocol carry this attribute; every use
+// must sit next to the version-lock Validate() call that makes it sound.
+#if defined(__SANITIZE_THREAD__)
+#define PACTREE_NO_TSAN __attribute__((no_sanitize("thread")))
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PACTREE_NO_TSAN __attribute__((no_sanitize("thread")))
+#else
+#define PACTREE_NO_TSAN
+#endif
+#else
+#define PACTREE_NO_TSAN
+#endif
+
 inline uintptr_t CacheLineOf(const void* p) {
   return reinterpret_cast<uintptr_t>(p) & ~(kCacheLineSize - 1);
 }

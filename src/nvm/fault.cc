@@ -2,6 +2,7 @@
 
 #include "src/common/compiler.h"
 #include "src/nvm/shadow.h"
+#include "src/runtime/thread_context.h"
 
 namespace pactree {
 namespace {
@@ -16,7 +17,14 @@ struct WindowState {
   uint64_t staged_lines = 0;
 };
 
-thread_local WindowState t_window;
+// Per-thread crash window, held in the thread's ThreadContext. No retire hook:
+// an armed window dying with its thread is exactly a disarm.
+ThreadSlot<WindowState>& WindowSlot() {
+  static ThreadSlot<WindowState>* slot = new ThreadSlot<WindowState>();
+  return *slot;
+}
+
+WindowState& Window() { return WindowSlot().Get(); }
 
 inline uint64_t Mix64(uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
@@ -65,26 +73,28 @@ void Trigger(WindowState& w, uintptr_t flush_line, bool at_fence) {
 }  // namespace
 
 void FaultInjector::Arm(const CrashPlan& plan) {
-  t_window.armed = true;
-  t_window.triggered = false;
-  t_window.plan = plan;
-  t_window.events = 0;
-  t_window.staged_lines = 0;
+  WindowState& w = Window();
+  w.armed = true;
+  w.triggered = false;
+  w.plan = plan;
+  w.events = 0;
+  w.staged_lines = 0;
 }
 
 void FaultInjector::Disarm() {
-  t_window.armed = false;
-  t_window.staged_lines = 0;
+  WindowState& w = Window();
+  w.armed = false;
+  w.staged_lines = 0;
 }
 
-bool FaultInjector::Armed() { return t_window.armed; }
+bool FaultInjector::Armed() { return Window().armed; }
 
-bool FaultInjector::Triggered() { return t_window.triggered; }
+bool FaultInjector::Triggered() { return Window().triggered; }
 
-uint64_t FaultInjector::EventCount() { return t_window.events; }
+uint64_t FaultInjector::EventCount() { return Window().events; }
 
 void FaultInjector::OnPersist(const void* p, size_t n) {
-  WindowState& w = t_window;
+  WindowState& w = Window();
   if (!w.armed || w.triggered || n == 0) {
     return;
   }
@@ -104,7 +114,7 @@ void FaultInjector::OnPersist(const void* p, size_t n) {
 }
 
 void FaultInjector::OnFence() {
-  WindowState& w = t_window;
+  WindowState& w = Window();
   if (!w.armed || w.triggered) {
     return;
   }

@@ -1,7 +1,5 @@
 #include "src/nvm/persist.h"
 
-#include <vector>
-
 #if defined(__x86_64__)
 #include <immintrin.h>
 #endif
@@ -14,6 +12,7 @@
 #include "src/nvm/fault.h"
 #include "src/nvm/shadow.h"
 #include "src/nvm/stats.h"
+#include "src/nvm/thread_state.h"
 #include "src/nvm/topology.h"
 
 namespace pactree {
@@ -41,63 +40,6 @@ inline void StoreFence() {
 #endif
 }
 
-// Per-thread media model state.
-struct MediaModel {
-  // Direct-mapped XPLine tag cache modeling this thread's CPU-cache reach.
-  std::vector<uintptr_t> read_tags;
-  // Last XPLine fetched from media (sequential-prefetch detection, FH3).
-  uintptr_t last_miss_line = 0;
-  // FIFO window of recently written XPLines modeling the XPBuffer combining.
-  static constexpr size_t kXpBufMax = 64;
-  uintptr_t xpbuf[kXpBufMax] = {};
-  size_t xpbuf_size = 0;
-  size_t xpbuf_next = 0;
-
-  void EnsureSized() {
-    if (read_tags.empty()) {
-      size_t n = GlobalNvmConfig().read_cache_lines;
-      if (n == 0) {
-        n = 1;
-      }
-      // Round to power of two for cheap indexing.
-      size_t p = 1;
-      while (p < n) {
-        p <<= 1;
-      }
-      read_tags.assign(p, 0);
-      xpbuf_size = GlobalNvmConfig().xpbuffer_entries;
-      if (xpbuf_size > kXpBufMax) {
-        xpbuf_size = kXpBufMax;
-      }
-      if (xpbuf_size == 0) {
-        xpbuf_size = 1;
-      }
-    }
-  }
-
-  bool ReadCacheLookupInsert(uintptr_t xpline) {
-    size_t idx = (xpline >> 8) & (read_tags.size() - 1);
-    if (read_tags[idx] == xpline) {
-      return true;
-    }
-    read_tags[idx] = xpline;
-    return false;
-  }
-
-  bool XpBufferLookupInsert(uintptr_t xpline) {
-    for (size_t i = 0; i < xpbuf_size; ++i) {
-      if (xpbuf[i] == xpline) {
-        return true;
-      }
-    }
-    xpbuf[xpbuf_next] = xpline;
-    xpbuf_next = (xpbuf_next + 1) % xpbuf_size;
-    return false;
-  }
-};
-
-thread_local MediaModel t_media;
-
 }  // namespace
 
 void PersistRange(const void* p, size_t n) {
@@ -115,8 +57,11 @@ void PersistRange(const void* p, size_t n) {
   }
 
   const NvmConfig& cfg = GlobalNvmConfig();
-  NvmThreadCounters& c = LocalNvmCounters();
-  MediaModel& m = t_media;
+  // The media model and the traffic counters are keyed per (thread, pool):
+  // independent heaps in one process never share cache warmth or counters.
+  NvmDomain& dom = LocalNvmState().DomainFor(range->pool_id);
+  NvmThreadCounters& c = dom.counters;
+  MediaModel& m = dom.media;
   m.EnsureSized();
 
   uintptr_t start = CacheLineOf(p);
@@ -157,6 +102,7 @@ void Fence() {
     FaultInjector::OnFence();
     ShadowHeap::OnFence();
   }
+  // Fences carry no address, so they land in the unattributed bucket.
   NvmThreadCounters& c = LocalNvmCounters();
   c.fences++;
   const NvmConfig& cfg = GlobalNvmConfig();
@@ -176,8 +122,9 @@ void AnnotateNvmRead(const void* p, size_t n) {
     return;
   }
   const NvmConfig& cfg = GlobalNvmConfig();
-  NvmThreadCounters& c = LocalNvmCounters();
-  MediaModel& m = t_media;
+  NvmDomain& dom = LocalNvmState().DomainFor(range->pool_id);
+  NvmThreadCounters& c = dom.counters;
+  MediaModel& m = dom.media;
   m.EnsureSized();
 
   bool remote = range->node != CurrentNumaNode();
@@ -225,12 +172,11 @@ void AnnotateNvmRead(const void* p, size_t n) {
 }
 
 void DropThreadReadCache() {
-  t_media.read_tags.clear();
-  t_media.last_miss_line = 0;
-  t_media.xpbuf_size = 0;
-  t_media.xpbuf_next = 0;
-  for (auto& e : t_media.xpbuf) {
-    e = 0;
+  NvmThreadState& state = LocalNvmState();
+  state.unattributed.media.Reset();
+  size_t n = state.ndomains.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    state.domains[i].load(std::memory_order_relaxed)->media.Reset();
   }
 }
 

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "src/common/compiler.h"
+#include "src/runtime/thread_context.h"
 
 namespace pactree {
 namespace {
@@ -50,9 +51,20 @@ std::atomic<bool> g_frozen{false};
 // timing).
 std::atomic<uint64_t> g_epoch{0};
 
-// Lines staged by clwb but not yet fenced by this thread.
-thread_local std::vector<StagedLine> t_staged;
-thread_local uint64_t t_staged_epoch = 0;
+// Lines staged by clwb but not yet fenced by this thread, plus the shadow
+// cycle they belong to. Held in the thread's ThreadContext; unfenced lines die
+// with their thread, matching real WPQ contents lost when a CPU is lost.
+struct ShadowThreadState {
+  std::vector<StagedLine> staged;
+  uint64_t epoch = 0;
+};
+
+ThreadSlot<ShadowThreadState>& ShadowSlot() {
+  static ThreadSlot<ShadowThreadState>* slot = new ThreadSlot<ShadowThreadState>();
+  return *slot;
+}
+
+ShadowThreadState& Staged() { return ShadowSlot().Get(); }
 
 // SplitMix64: decision hash for chaos evictions and torn-write subsets.
 inline uint64_t Mix64(uint64_t x) {
@@ -99,7 +111,7 @@ void ShadowHeap::Disable() {
     delete g_state;
     g_state = nullptr;
   }
-  t_staged.clear();
+  Staged().staged.clear();
 }
 
 bool ShadowHeap::IsActive() { return g_active.load(std::memory_order_acquire); }
@@ -134,9 +146,10 @@ void ShadowHeap::OnPersist(const void* p, size_t n) {
   if (s == nullptr || IsFrozen()) {
     return;
   }
-  if (t_staged_epoch != g_epoch.load(std::memory_order_acquire)) {
-    t_staged.clear();
-    t_staged_epoch = g_epoch.load(std::memory_order_acquire);
+  ShadowThreadState& t = Staged();
+  if (t.epoch != g_epoch.load(std::memory_order_acquire)) {
+    t.staged.clear();
+    t.epoch = g_epoch.load(std::memory_order_acquire);
   }
   uintptr_t start = CacheLineOf(p);
   uintptr_t end = reinterpret_cast<uintptr_t>(p) + n;
@@ -149,28 +162,28 @@ void ShadowHeap::OnPersist(const void* p, size_t n) {
     StagedLine staged;
     staged.addr = line;
     std::memcpy(staged.bytes, reinterpret_cast<const void*>(line), kCacheLineSize);
-    t_staged.push_back(staged);
+    t.staged.push_back(staged);
   }
 }
 
 void ShadowHeap::OnFence() {
   ShadowState* s = g_state;
-  if (s == nullptr || t_staged.empty()) {
-    t_staged.clear();
+  ShadowThreadState& t = Staged();
+  if (s == nullptr || t.staged.empty()) {
+    t.staged.clear();
     return;
   }
-  if (IsFrozen() ||
-      t_staged_epoch != g_epoch.load(std::memory_order_acquire)) {
+  if (IsFrozen() || t.epoch != g_epoch.load(std::memory_order_acquire)) {
     // Frozen: the machine already died; stale epoch: these lines were staged
     // against a previous shadow cycle and must not leak into this image.
-    t_staged.clear();
+    t.staged.clear();
     return;
   }
   std::lock_guard<std::mutex> lock(s->image_mu);
-  for (const StagedLine& staged : t_staged) {
+  for (const StagedLine& staged : t.staged) {
     CommitStagedLocked(s, staged, kCacheLineSize);
   }
-  t_staged.clear();
+  t.staged.clear();
 }
 
 void ShadowHeap::CommitBytes(const void* p, size_t n) {
@@ -194,8 +207,9 @@ void ShadowHeap::CommitBytes(const void* p, size_t n) {
 
 void ShadowHeap::CommitStagedSubset(uint64_t seed) {
   ShadowState* s = g_state;
-  if (s == nullptr || t_staged.empty() ||
-      t_staged_epoch != g_epoch.load(std::memory_order_acquire)) {
+  ShadowThreadState& t = Staged();
+  if (s == nullptr || t.staged.empty() ||
+      t.epoch != g_epoch.load(std::memory_order_acquire)) {
     return;
   }
   std::lock_guard<std::mutex> lock(s->image_mu);
@@ -203,9 +217,9 @@ void ShadowHeap::CommitStagedSubset(uint64_t seed) {
   // undrained lines is caught mid-write and commits only an 8-byte-aligned
   // prefix of its bytes.
   int torn_candidate = -1;
-  for (size_t i = 0; i < t_staged.size(); ++i) {
+  for (size_t i = 0; i < t.staged.size(); ++i) {
     if (HashToUnit(Mix64(seed ^ (0x5157ULL + i))) < 0.5) {
-      CommitStagedLocked(s, t_staged[i], kCacheLineSize);
+      CommitStagedLocked(s, t.staged[i], kCacheLineSize);
     } else if (torn_candidate < 0) {
       torn_candidate = static_cast<int>(i);
     }
@@ -214,9 +228,9 @@ void ShadowHeap::CommitStagedSubset(uint64_t seed) {
     // 1..7 words: a genuine tear (0 = not drained, 8 = fully drained are the
     // cases covered above).
     size_t words = 1 + Mix64(seed ^ 0x70524eULL) % 7;
-    CommitStagedLocked(s, t_staged[static_cast<size_t>(torn_candidate)], words * 8);
+    CommitStagedLocked(s, t.staged[static_cast<size_t>(torn_candidate)], words * 8);
   }
-  t_staged.clear();
+  t.staged.clear();
 }
 
 bool ShadowHeap::EvictDecision(uint64_t seed, size_t region_index, size_t offset,

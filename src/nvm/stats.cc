@@ -1,50 +1,101 @@
 #include "src/nvm/stats.h"
 
 #include <mutex>
-#include <vector>
+#include <unordered_map>
+
+#include "src/nvm/thread_state.h"
+#include "src/runtime/thread_context.h"
 
 namespace pactree {
 namespace {
 
-// Registry of every thread's counters. Counter blocks are leaked on purpose:
-// they must outlive their thread so that GlobalNvmStats() stays safe to call
-// after worker threads join.
-std::mutex g_registry_mu;
-std::vector<NvmThreadCounters*>& Registry() {
-  static std::vector<NvmThreadCounters*> registry;
-  return registry;
+// Accumulated traffic of exited threads, by pool id (0 = unattributed).
+// Leaked: thread teardown hooks (including the main thread's at process exit)
+// must always find it alive.
+struct RetiredTotals {
+  std::mutex mu;
+  std::unordered_map<uint16_t, NvmStatsSnapshot> by_pool;
+};
+
+RetiredTotals& Retired() {
+  static RetiredTotals* totals = new RetiredTotals();
+  return *totals;
 }
 
-NvmThreadCounters* NewRegisteredCounters() {
-  auto* counters = new NvmThreadCounters();
-  std::lock_guard<std::mutex> lock(g_registry_mu);
-  Registry().push_back(counters);
-  return counters;
+// Thread-teardown hook: fold the exiting thread's counters into the retired
+// accumulator so aggregate queries stay correct after worker threads join.
+void FoldIntoRetired(NvmThreadState& state) {
+  RetiredTotals& totals = Retired();
+  std::lock_guard<std::mutex> lock(totals.mu);
+  state.unattributed.counters.AddTo(&totals.by_pool[0]);
+  size_t n = state.ndomains.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    NvmDomain* d = state.domains[i].load(std::memory_order_acquire);
+    d->counters.AddTo(&totals.by_pool[d->pool_id]);
+  }
+}
+
+ThreadSlot<NvmThreadState>& NvmSlot() {
+  static ThreadSlot<NvmThreadState>* slot =
+      new ThreadSlot<NvmThreadState>(&FoldIntoRetired);
+  return *slot;
+}
+
+// Sums live threads' counters: all pools when |pool_id| is negative, else just
+// that pool's domain (0 = the unattributed bucket).
+void AddLiveCounters(NvmStatsSnapshot* s, int pool_id) {
+  ThreadRegistry::Instance().ForEach([&](ThreadContext& ctx) {
+    NvmThreadState* state = NvmSlot().Peek(ctx);
+    if (state == nullptr) {
+      return;
+    }
+    if (pool_id < 0 || pool_id == 0) {
+      state->unattributed.counters.AddTo(s);
+    }
+    size_t n = state->ndomains.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+      NvmDomain* d = state->domains[i].load(std::memory_order_acquire);
+      if (pool_id < 0 || d->pool_id == pool_id) {
+        d->counters.AddTo(s);
+      }
+    }
+  });
 }
 
 }  // namespace
 
-NvmThreadCounters& LocalNvmCounters() {
-  thread_local NvmThreadCounters* counters = NewRegisteredCounters();
-  return *counters;
+NvmThreadState& LocalNvmState() { return NvmSlot().Get(); }
+
+NvmThreadState* PeekNvmState(ThreadContext& ctx) { return NvmSlot().Peek(ctx); }
+
+NvmThreadCounters& LocalNvmCounters(uint16_t pool_id) {
+  return LocalNvmState().DomainFor(pool_id).counters;
 }
 
 NvmStatsSnapshot GlobalNvmStats() {
   NvmStatsSnapshot s;
-  std::lock_guard<std::mutex> lock(g_registry_mu);
-  for (const NvmThreadCounters* c : Registry()) {
-    s.media_read_bytes += c->media_read_bytes;
-    s.media_write_bytes += c->media_write_bytes;
-    s.flushes += c->flushes;
-    s.fences += c->fences;
-    s.read_hits += c->read_hits;
-    s.read_misses += c->read_misses;
-    s.remote_reads += c->remote_reads;
-    s.remote_writes += c->remote_writes;
-    s.directory_writes += c->directory_writes;
-    s.alloc_ops += c->alloc_ops;
-    s.free_ops += c->free_ops;
+  {
+    RetiredTotals& totals = Retired();
+    std::lock_guard<std::mutex> lock(totals.mu);
+    for (const auto& [pool, snap] : totals.by_pool) {
+      s += snap;
+    }
   }
+  AddLiveCounters(&s, -1);
+  return s;
+}
+
+NvmStatsSnapshot PoolNvmStats(uint16_t pool_id) {
+  NvmStatsSnapshot s;
+  {
+    RetiredTotals& totals = Retired();
+    std::lock_guard<std::mutex> lock(totals.mu);
+    auto it = totals.by_pool.find(pool_id);
+    if (it != totals.by_pool.end()) {
+      s += it->second;
+    }
+  }
+  AddLiveCounters(&s, pool_id);
   return s;
 }
 

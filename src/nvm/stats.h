@@ -4,9 +4,16 @@
 // moved at the 3D-XPoint media (256 B XPLine granularity), flush/fence counts, and
 // cross-NUMA traffic including directory-coherence writes. Figures 4 and 5 plot
 // exactly these quantities.
+//
+// Counters live in each thread's ThreadContext (src/runtime/), keyed per pmem
+// pool id, so two heaps or two indexes in one process never bleed traffic into
+// each other's numbers. When a thread exits, its counters are folded into a
+// process-wide retired accumulator, so aggregate queries stay correct after
+// worker threads join.
 #ifndef PACTREE_SRC_NVM_STATS_H_
 #define PACTREE_SRC_NVM_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace pactree {
@@ -39,29 +46,82 @@ struct NvmStatsSnapshot {
     d.free_ops = free_ops - o.free_ops;
     return d;
   }
+
+  NvmStatsSnapshot& operator+=(const NvmStatsSnapshot& o) {
+    media_read_bytes += o.media_read_bytes;
+    media_write_bytes += o.media_write_bytes;
+    flushes += o.flushes;
+    fences += o.fences;
+    read_hits += o.read_hits;
+    read_misses += o.read_misses;
+    remote_reads += o.remote_reads;
+    remote_writes += o.remote_writes;
+    directory_writes += o.directory_writes;
+    alloc_ops += o.alloc_ops;
+    free_ops += o.free_ops;
+    return *this;
+  }
 };
 
-// Aggregates the counters of every thread that ever touched the NVM layer.
+// Single-writer counter: only the owning thread increments (plain load+store,
+// no RMW, so the hot path costs the same as a non-atomic add), while foreign
+// threads may aggregate concurrently without a data race.
+struct RelaxedCounter {
+  std::atomic<uint64_t> v{0};
+
+  void Add(uint64_t d) {
+    v.store(v.load(std::memory_order_relaxed) + d, std::memory_order_relaxed);
+  }
+  void operator++(int) { Add(1); }
+  RelaxedCounter& operator+=(uint64_t d) {
+    Add(d);
+    return *this;
+  }
+  uint64_t load() const { return v.load(std::memory_order_relaxed); }
+};
+
+// Per-thread, per-pool raw counters (exposed so hot paths can bump fields
+// without locks). Owning thread writes; any thread may read.
+struct NvmThreadCounters {
+  RelaxedCounter media_read_bytes;
+  RelaxedCounter media_write_bytes;
+  RelaxedCounter flushes;
+  RelaxedCounter fences;
+  RelaxedCounter read_hits;
+  RelaxedCounter read_misses;
+  RelaxedCounter remote_reads;
+  RelaxedCounter remote_writes;
+  RelaxedCounter directory_writes;
+  RelaxedCounter alloc_ops;
+  RelaxedCounter free_ops;
+
+  void AddTo(NvmStatsSnapshot* s) const {
+    s->media_read_bytes += media_read_bytes.load();
+    s->media_write_bytes += media_write_bytes.load();
+    s->flushes += flushes.load();
+    s->fences += fences.load();
+    s->read_hits += read_hits.load();
+    s->read_misses += read_misses.load();
+    s->remote_reads += remote_reads.load();
+    s->remote_writes += remote_writes.load();
+    s->directory_writes += directory_writes.load();
+    s->alloc_ops += alloc_ops.load();
+    s->free_ops += free_ops.load();
+  }
+};
+
+// Every thread's traffic (live and exited), all pools plus unattributed
+// events (pool id 0: fences, which carry no address).
 NvmStatsSnapshot GlobalNvmStats();
 
-// Per-thread raw counters (exposed so hot paths can increment without locks).
-struct NvmThreadCounters {
-  uint64_t media_read_bytes = 0;
-  uint64_t media_write_bytes = 0;
-  uint64_t flushes = 0;
-  uint64_t fences = 0;
-  uint64_t read_hits = 0;
-  uint64_t read_misses = 0;
-  uint64_t remote_reads = 0;
-  uint64_t remote_writes = 0;
-  uint64_t directory_writes = 0;
-  uint64_t alloc_ops = 0;
-  uint64_t free_ops = 0;
-};
+// Traffic attributed to one pmem pool across every thread, live and exited.
+// Fences are never pool-attributed and always read as zero here.
+NvmStatsSnapshot PoolNvmStats(uint16_t pool_id);
 
-// Counters of the calling thread (registered globally on first use; the object
-// outlives the thread so aggregation stays safe).
-NvmThreadCounters& LocalNvmCounters();
+// The calling thread's counters for |pool_id| (0 = the unattributed bucket).
+// Registered in the thread's context on first use; folded into the retired
+// accumulator at thread exit.
+NvmThreadCounters& LocalNvmCounters(uint16_t pool_id = 0);
 
 }  // namespace pactree
 

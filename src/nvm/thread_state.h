@@ -1,0 +1,148 @@
+// Internal: the NVM layer's per-thread state, held in the thread's
+// ThreadContext (src/runtime/) and keyed per pmem pool id.
+//
+// One NvmDomain = one (thread, pool) pair: the media traffic counters plus the
+// media model (the direct-mapped XPLine read-tag cache standing in for the CPU
+// cache's reach over that pool, and the XPBuffer write-combining window).
+// Keying the model per pool keeps independent heaps in one process from
+// warming or evicting each other's modeled caches -- two benchmarks or tests
+// measuring different instances see the same numbers they would see alone.
+#ifndef PACTREE_SRC_NVM_THREAD_STATE_H_
+#define PACTREE_SRC_NVM_THREAD_STATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/nvm/config.h"
+#include "src/nvm/stats.h"
+#include "src/runtime/thread_context.h"
+
+namespace pactree {
+
+// Models one thread's CPU-cache interaction with one pool's media.
+struct MediaModel {
+  // Direct-mapped XPLine tag cache modeling this thread's CPU-cache reach.
+  std::vector<uintptr_t> read_tags;
+  // Last XPLine fetched from media (sequential-prefetch detection, FH3).
+  uintptr_t last_miss_line = 0;
+  // FIFO window of recently written XPLines modeling the XPBuffer combining.
+  static constexpr size_t kXpBufMax = 64;
+  uintptr_t xpbuf[kXpBufMax] = {};
+  size_t xpbuf_size = 0;
+  size_t xpbuf_next = 0;
+
+  void EnsureSized() {
+    if (read_tags.empty()) {
+      size_t n = GlobalNvmConfig().read_cache_lines;
+      if (n == 0) {
+        n = 1;
+      }
+      // Round to power of two for cheap indexing.
+      size_t p = 1;
+      while (p < n) {
+        p <<= 1;
+      }
+      read_tags.assign(p, 0);
+      xpbuf_size = GlobalNvmConfig().xpbuffer_entries;
+      if (xpbuf_size > kXpBufMax) {
+        xpbuf_size = kXpBufMax;
+      }
+      if (xpbuf_size == 0) {
+        xpbuf_size = 1;
+      }
+    }
+  }
+
+  bool ReadCacheLookupInsert(uintptr_t xpline) {
+    size_t idx = (xpline >> 8) & (read_tags.size() - 1);
+    if (read_tags[idx] == xpline) {
+      return true;
+    }
+    read_tags[idx] = xpline;
+    return false;
+  }
+
+  bool XpBufferLookupInsert(uintptr_t xpline) {
+    for (size_t i = 0; i < xpbuf_size; ++i) {
+      if (xpbuf[i] == xpline) {
+        return true;
+      }
+    }
+    xpbuf[xpbuf_next] = xpline;
+    xpbuf_next = (xpbuf_next + 1) % xpbuf_size;
+    return false;
+  }
+
+  void Reset() {
+    read_tags.clear();
+    last_miss_line = 0;
+    xpbuf_size = 0;
+    xpbuf_next = 0;
+    for (auto& e : xpbuf) {
+      e = 0;
+    }
+  }
+};
+
+struct NvmDomain {
+  uint16_t pool_id = 0;
+  NvmThreadCounters counters;
+  MediaModel media;  // owner-thread only
+};
+
+// All of one thread's NVM-layer state: an append-only array of domains so
+// foreign aggregators can walk it lock-free while the owner appends.
+struct NvmThreadState {
+  // Bound on distinct pool ids one thread touches; overflow traffic falls into
+  // the unattributed bucket (still globally counted, just not per-pool).
+  static constexpr size_t kMaxDomains = 64;
+
+  NvmDomain unattributed;  // pool id 0: fences, overflow
+  std::atomic<NvmDomain*> domains[kMaxDomains] = {};
+  std::atomic<size_t> ndomains{0};
+  NvmDomain* last = nullptr;  // owner-thread lookup cache
+
+  // Owner thread only.
+  NvmDomain& DomainFor(uint16_t pool_id) {
+    if (pool_id == 0) {
+      return unattributed;
+    }
+    if (last != nullptr && last->pool_id == pool_id) {
+      return *last;
+    }
+    size_t n = ndomains.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < n; ++i) {
+      NvmDomain* d = domains[i].load(std::memory_order_relaxed);
+      if (d->pool_id == pool_id) {
+        last = d;
+        return *d;
+      }
+    }
+    if (n >= kMaxDomains) {
+      return unattributed;
+    }
+    auto* d = new NvmDomain();
+    d->pool_id = pool_id;
+    domains[n].store(d, std::memory_order_release);
+    ndomains.store(n + 1, std::memory_order_release);
+    last = d;
+    return *d;
+  }
+
+  ~NvmThreadState() {
+    size_t n = ndomains.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < n; ++i) {
+      delete domains[i].load(std::memory_order_relaxed);
+    }
+  }
+};
+
+// The calling thread's NVM state (slot lives in stats.cc).
+NvmThreadState& LocalNvmState();
+// |ctx|'s NVM state if it has one (foreign-thread safe under a registry scan).
+NvmThreadState* PeekNvmState(ThreadContext& ctx);
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_NVM_THREAD_STATE_H_

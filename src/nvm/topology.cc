@@ -1,39 +1,72 @@
 #include "src/nvm/topology.h"
 
+#include <sched.h>
+
 #include <atomic>
+#include <thread>
 
 #include "src/nvm/config.h"
+#include "src/runtime/thread_context.h"
 
 namespace pactree {
 namespace {
 
-std::atomic<uint32_t> g_next_thread{0};
-
-struct ThreadNode {
-  uint32_t node = 0;
-  bool assigned = false;
-};
-
-thread_local ThreadNode t_node;
+// Process-wide opt-in: AssignWorkerThread also pins to a CPU (bench --pin).
+std::atomic<bool> g_pinning{false};
 
 }  // namespace
 
 uint32_t CurrentNumaNode() {
-  if (!t_node.assigned) {
+  ThreadContext& ctx = ThreadContext::Current();
+  if (!ctx.numa_assigned()) {
     uint32_t nodes = GlobalNvmConfig().numa_nodes;
     if (nodes == 0) {
       nodes = 1;
     }
-    t_node.node = g_next_thread.fetch_add(1, std::memory_order_relaxed) % nodes;
-    t_node.assigned = true;
+    // Stripe by registration order: deterministic given thread start order,
+    // and re-registered pool threads restripe with their fresh tid.
+    ctx.AssignNumaNode(ctx.tid() % nodes);
   }
-  return t_node.node;
+  return ctx.numa_node();
 }
 
 void SetCurrentNumaNode(uint32_t node) {
   uint32_t nodes = GlobalNvmConfig().numa_nodes;
-  t_node.node = nodes == 0 ? 0 : node % nodes;
-  t_node.assigned = true;
+  ThreadContext::Current().AssignNumaNode(nodes == 0 ? 0 : node % nodes);
+}
+
+void SetThreadPinning(bool enabled) {
+  g_pinning.store(enabled, std::memory_order_release);
+}
+
+bool ThreadPinningEnabled() { return g_pinning.load(std::memory_order_acquire); }
+
+void AssignWorkerThread(uint32_t worker_index) {
+  uint32_t nodes = GlobalNvmConfig().numa_nodes;
+  if (nodes == 0) {
+    nodes = 1;
+  }
+  uint32_t node = worker_index % nodes;
+  SetCurrentNumaNode(node);
+  if (!ThreadPinningEnabled()) {
+    return;
+  }
+  // Deterministic round-robin CPU placement mirroring the logical topology:
+  // the CPUs are split into |nodes| contiguous groups; worker i runs on group
+  // i % nodes, seat (i / nodes) within the group.
+  uint32_t ncpus = std::thread::hardware_concurrency();
+  if (ncpus == 0) {
+    return;
+  }
+  uint32_t per_node = ncpus / nodes;
+  if (per_node == 0) {
+    per_node = 1;
+  }
+  uint32_t cpu = (node * per_node + (worker_index / nodes) % per_node) % ncpus;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  sched_setaffinity(0, sizeof(set), &set);  // best effort
 }
 
 }  // namespace pactree

@@ -12,12 +12,25 @@
 
 namespace pactree {
 
-// Node of the calling thread (assigned round-robin on first call).
+// Node of the calling thread (assigned on first call by striping the thread's
+// registration-order id across the configured nodes; the assignment lives in
+// the thread's ThreadContext).
 uint32_t CurrentNumaNode();
 
 // Pins the calling thread to a logical node (benchmark drivers use this to
 // emulate a NUMA-aware thread placement).
 void SetCurrentNumaNode(uint32_t node);
+
+// Process-wide switch: when enabled, AssignWorkerThread additionally pins the
+// calling thread to a CPU chosen round-robin across the logical nodes
+// (bench --pin / PAC_PIN=1).
+void SetThreadPinning(bool enabled);
+bool ThreadPinningEnabled();
+
+// Deterministic worker placement: logical node worker_index % numa_nodes,
+// plus (opt-in) a matching CPU affinity. Workload drivers call this instead
+// of SetCurrentNumaNode directly.
+void AssignWorkerThread(uint32_t worker_index);
 
 }  // namespace pactree
 

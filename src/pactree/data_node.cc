@@ -7,6 +7,7 @@
 #include <immintrin.h>
 #endif
 
+#include "src/common/compiler.h"
 #include "src/nvm/persist.h"
 
 namespace pactree {
@@ -18,6 +19,10 @@ uint64_t DataNode::Bitmap() const {
 
 int DataNode::CountLive() const { return __builtin_popcountll(Bitmap()); }
 
+// Optimistic probe: runs under a version-lock read token and deliberately
+// races with FillSlot on slots outside the live bitmap (or being recycled);
+// the caller's Validate() discards any observation made during a write.
+PACTREE_NO_TSAN
 int DataNode::FindKey(const Key& key, uint8_t fingerprint) const {
   uint64_t live = Bitmap();
   uint64_t candidates;
@@ -58,6 +63,9 @@ int DataNode::FindFreeSlot() const {
   return __builtin_ctzll(~live);
 }
 
+// Writer side of the optimistic-probe pattern (see FindKey): fills a slot that
+// is not yet (or no longer) in the live bitmap while readers may be scanning.
+PACTREE_NO_TSAN
 void DataNode::FillSlot(int slot, const Key& key, uint8_t fingerprint, uint64_t value) {
   keys[slot] = key;
   values[slot] = value;
@@ -72,6 +80,8 @@ void DataNode::PublishBitmap(uint64_t new_bitmap) {
   AtomicStorePersist(reinterpret_cast<std::atomic<uint64_t>*>(&bitmap), new_bitmap);
 }
 
+// Reads live-slot keys optimistically; callers version-check the result.
+PACTREE_NO_TSAN
 int DataNode::ComputeSortedOrder(uint8_t* out) const {
   uint64_t live = Bitmap();
   int n = 0;

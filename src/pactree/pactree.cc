@@ -11,6 +11,7 @@
 #include "src/nvm/config.h"
 #include "src/nvm/persist.h"
 #include "src/pmem/registry.h"
+#include "src/runtime/thread_context.h"
 #include "src/sync/epoch.h"
 #include "src/sync/gen_sync.h"
 #include "src/sync/generation.h"
@@ -340,27 +341,16 @@ void PacTree::RecoverMerge(SmoLogEntry* e) {
 // ---------------------------------------------------------------------------
 
 uint32_t PacTree::WriterSlot() {
-  struct Cache {
-    PacTree* tree = nullptr;
-    uint32_t slot = 0;
-    std::unordered_map<PacTree*, uint32_t> others;
-  };
-  thread_local Cache cache;
-  if (cache.tree == this) {
-    return cache.slot;
+  // Per-(thread, tree) slot assignment via the thread's context. Stored as
+  // slot+1 so the zero-initialized word means "unassigned"; reduced modulo
+  // kMaxWriterSlots on every read because a stale word surviving this tree's
+  // address being recycled must still map to a valid slot.
+  uint64_t& w = ThreadContext::Current().InstanceWord(this);
+  if (w == 0) {
+    w = 1 + next_writer_slot_.fetch_add(1, std::memory_order_relaxed) %
+                kMaxWriterSlots;
   }
-  auto it = cache.others.find(this);
-  if (it != cache.others.end()) {
-    cache.tree = this;
-    cache.slot = it->second;
-    return it->second;
-  }
-  uint32_t slot = next_writer_slot_.fetch_add(1, std::memory_order_relaxed) %
-                  kMaxWriterSlots;
-  cache.others[this] = slot;
-  cache.tree = this;
-  cache.slot = slot;
-  return slot;
+  return static_cast<uint32_t>((w - 1) % kMaxWriterSlots);
 }
 
 SmoLog* PacTree::WriterLog() { return logs_[WriterSlot()]; }
@@ -388,7 +378,10 @@ SmoLogEntry* PacTree::LogSmo(uint32_t type, uint64_t node_raw, uint64_t other_ra
     }
   }
   SmoLogEntry& e = log->At(pos);
-  e.seq = 0;  // published by PublishSmo once the data-layer work is durable
+  // Published by PublishSmo once the data-layer work is durable. Atomic: the
+  // updater's ring scan may read seq of a just-claimed slot concurrently (it
+  // sees 0 either way and skips, but the access itself must be a non-racy).
+  std::atomic_ref<uint64_t>(e.seq).store(0, std::memory_order_relaxed);
   e.applied = 0;
   e.node_raw = node_raw;
   e.other_raw = other_raw;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/nvm/stats.h"
 #include "src/pmem/pool.h"
 
 namespace pactree {
@@ -63,6 +64,18 @@ class PmemHeap {
     for (const auto& p : pools_) {
       p->RecoverPendingLogs();
     }
+  }
+
+  // Media traffic attributed to this heap's sub-pools, across all threads
+  // (live and exited). Counters are keyed per (thread, pool) in each thread's
+  // ThreadContext, so two heaps in one process report disjoint numbers;
+  // fences are unattributed and never appear here.
+  NvmStatsSnapshot MediaStats() const {
+    NvmStatsSnapshot s;
+    for (const auto& p : pools_) {
+      s += PoolNvmStats(p->pool_id());
+    }
+    return s;
   }
 
   // Unretired alloc/free log entries across all sub-pools (zero when drained).

@@ -9,6 +9,7 @@
 #include "src/nvm/persist.h"
 #include "src/nvm/stats.h"
 #include "src/pmem/registry.h"
+#include "src/runtime/thread_context.h"
 
 namespace pactree {
 namespace {
@@ -328,12 +329,14 @@ size_t PmemPool::PendingLogEntries() const {
 
 int PmemPool::AcquireLogSlot() {
   size_t n = log_busy_.size();
-  static thread_local uint32_t start = 0;
+  // Round-robin cursor per (thread, pool): a process-global per-thread cursor
+  // would make one pool's workload contend on slots another pool just used.
+  uint64_t& start = ThreadContext::Current().InstanceWord(this);
   for (size_t i = 0; i < n; ++i) {
     size_t idx = (start + i) % n;
     uint8_t expected = 0;
     if (log_busy_[idx].compare_exchange_strong(expected, 1, std::memory_order_acquire)) {
-      start = static_cast<uint32_t>(idx + 1);
+      start = idx + 1;
       return static_cast<int>(idx);
     }
   }
@@ -493,7 +496,7 @@ PPtr<void> PmemPool::AllocInternal(size_t size, bool persist_meta) {
                                                           : size);
   allocs_.fetch_add(1, std::memory_order_relaxed);
   live_bytes_.fetch_add(BlockSize(off), std::memory_order_relaxed);
-  LocalNvmCounters().alloc_ops++;
+  LocalNvmCounters(pool_id_).alloc_ops++;
   return PPtr<void>::FromParts(pool_id_, off);
 }
 
@@ -667,7 +670,7 @@ void PmemPool::Free(uint64_t offset) {
   FreeInternal(offset, /*log=*/true);
   frees_.fetch_add(1, std::memory_order_relaxed);
   live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
-  LocalNvmCounters().free_ops++;
+  LocalNvmCounters(pool_id_).free_ops++;
 }
 
 PmemPoolStats PmemPool::Stats() const {

@@ -7,6 +7,7 @@
 #include "src/common/compiler.h"
 #include "src/nvm/persist.h"
 #include "src/pmem/registry.h"
+#include "src/runtime/thread_context.h"
 #include "src/sync/epoch.h"
 
 namespace pactree {
@@ -53,12 +54,13 @@ PmwcasDescriptor* PmwcasPool::DescOf(uint64_t word) const {
 }
 
 PmwcasDescriptor* PmwcasPool::Acquire() {
-  thread_local uint32_t start = 0;
+  // Per-(thread, pool) cursor so concurrent pools do not share scan positions.
+  uint64_t& start = ThreadContext::Current().InstanceWord(this);
   for (size_t i = 0; i < capacity_; ++i) {
     size_t idx = (start + i) % capacity_;
     uint8_t expected = 0;
     if (busy_[idx].compare_exchange_strong(expected, 1, std::memory_order_acquire)) {
-      start = static_cast<uint32_t>(idx + 1);
+      start = idx + 1;
       return &descs_[idx];
     }
   }
@@ -98,7 +100,7 @@ bool PmwcasPool::Run(const PmwcasWordEntry* entries, uint32_t count, bool* exhau
   assert(count <= kPmwcasMaxWords);
   // Keep the descriptor pool healthy: reclamation otherwise only happens when
   // some caller happens to advance the epoch.
-  thread_local uint32_t run_counter = 0;
+  uint64_t& run_counter = ThreadContext::Current().InstanceWord(this, /*tag=*/1);
   if ((++run_counter & 127) == 0) {
     EpochManager::Instance().TryAdvanceAndReclaim();
   }

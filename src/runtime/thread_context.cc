@@ -1,0 +1,155 @@
+#include "src/runtime/thread_context.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pactree {
+namespace {
+
+// Slot vtables, indexed by slot id. Leaked (never destroyed): retire hooks run
+// from thread_local destructors, including the main thread's at process exit,
+// and must never observe a torn-down table.
+struct SlotTable {
+  runtime_internal::SlotVtable vtables[kMaxThreadSlots];
+  std::atomic<size_t> count{0};
+};
+
+SlotTable& Slots() {
+  static SlotTable* table = new SlotTable();
+  return *table;
+}
+
+// Owns the calling thread's context pointer; its destructor is the automatic
+// thread-exit teardown. This is the single `thread_local` of the codebase.
+struct TlsHolder {
+  ThreadContext* ctx = nullptr;
+  ~TlsHolder() { ThreadRegistry::UnregisterCurrentThread(); }
+};
+
+thread_local TlsHolder t_holder;
+
+inline uint64_t WordKey(const void* owner, uint32_t tag) {
+  // Owners are heap pointers (>= 8-byte aligned), so the low bits are free to
+  // carry the tag without colliding across owners.
+  return (reinterpret_cast<uint64_t>(owner) << 8) | (tag & 0xff);
+}
+
+}  // namespace
+
+namespace runtime_internal {
+
+size_t RegisterSlot(const SlotVtable& vt) {
+  SlotTable& t = Slots();
+  size_t id = t.count.fetch_add(1, std::memory_order_acq_rel);
+  if (id >= kMaxThreadSlots) {
+    std::fprintf(stderr, "ThreadContext: slot capacity (%zu) exhausted\n",
+                 kMaxThreadSlots);
+    std::abort();
+  }
+  t.vtables[id] = vt;
+  return id;
+}
+
+}  // namespace runtime_internal
+
+// ---------------------------------------------------------------------------
+// ThreadContext
+// ---------------------------------------------------------------------------
+
+ThreadContext& ThreadContext::Current() {
+  ThreadContext* ctx = t_holder.ctx;
+  if (ctx == nullptr) {
+    ctx = ThreadRegistry::Instance().RegisterCurrent();
+    t_holder.ctx = ctx;
+  }
+  return *ctx;
+}
+
+ThreadContext* ThreadContext::CurrentIfRegistered() { return t_holder.ctx; }
+
+uint64_t& ThreadContext::InstanceWord(const void* owner, uint32_t tag) {
+  return words_[WordKey(owner, tag)];
+}
+
+void* ThreadContext::GetOrCreateSlot(size_t id) {
+  void* p = slots_[id].load(std::memory_order_relaxed);  // owner thread: no race
+  if (p == nullptr) {
+    p = Slots().vtables[id].create();
+    // Release-publish so foreign Peek()ers see the fully constructed object.
+    slots_[id].store(p, std::memory_order_release);
+  }
+  return p;
+}
+
+ThreadContext::~ThreadContext() {
+  SlotTable& t = Slots();
+  size_t n = t.count.load(std::memory_order_acquire);
+  for (size_t id = 0; id < n && id < kMaxThreadSlots; ++id) {
+    void* p = slots_[id].load(std::memory_order_relaxed);
+    if (p != nullptr) {
+      t.vtables[id].destroy(p);
+      slots_[id].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadRegistry
+// ---------------------------------------------------------------------------
+
+ThreadRegistry& ThreadRegistry::Instance() {
+  // Leaked: must outlive every thread_local destructor, including main's.
+  static ThreadRegistry* registry = new ThreadRegistry();
+  return *registry;
+}
+
+ThreadContext* ThreadRegistry::RegisterCurrent() {
+  auto* ctx = new ThreadContext();
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx->tid_ = static_cast<uint32_t>(total_.fetch_add(1, std::memory_order_acq_rel));
+  live_.push_back(ctx);
+  live_count_.store(live_.size(), std::memory_order_release);
+  return ctx;
+}
+
+void ThreadRegistry::Teardown(ThreadContext* ctx) {
+  // Unlink first: aggregators must never see a context whose state was already
+  // folded into retired totals (that would double-count). The window where the
+  // state is in neither place only under-counts concurrent aggregation.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i] == ctx) {
+        live_[i] = live_.back();
+        live_.pop_back();
+        break;
+      }
+    }
+    live_count_.store(live_.size(), std::memory_order_release);
+  }
+  SlotTable& t = Slots();
+  size_t n = t.count.load(std::memory_order_acquire);
+  for (size_t id = 0; id < n && id < kMaxThreadSlots; ++id) {
+    void* p = ctx->slots_[id].load(std::memory_order_relaxed);
+    if (p != nullptr && t.vtables[id].retire != nullptr) {
+      t.vtables[id].retire(p, t.vtables[id].user);
+    }
+  }
+  delete ctx;
+}
+
+void ThreadRegistry::ForEach(const std::function<void(ThreadContext&)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ThreadContext* ctx : live_) {
+    fn(*ctx);
+  }
+}
+
+void ThreadRegistry::UnregisterCurrentThread() {
+  if (t_holder.ctx != nullptr) {
+    Instance().Teardown(t_holder.ctx);
+    t_holder.ctx = nullptr;
+  }
+}
+
+}  // namespace pactree

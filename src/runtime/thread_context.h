@@ -1,0 +1,207 @@
+// Explicit per-thread runtime layer.
+//
+// Every piece of per-thread substrate state in this codebase -- the NVM media
+// model and its XPLine read cache, per-pool traffic counters, the logical NUMA
+// node assignment, the ShadowHeap staged-line buffer, the fault-injection
+// window, the epoch-reclamation record, and the various allocator round-robin
+// cursors -- lives in one ThreadContext object per thread, tracked by a
+// process-wide ThreadRegistry.
+//
+// Why not scattered `thread_local` globals (the previous design)?
+//   * Lifecycle: a `thread_local` either leaks past thread exit (the old
+//     EpochManager kept every exited thread's record forever and scanned it on
+//     every epoch advance) or vanishes silently under aggregation code that
+//     still wants the totals. The registry makes the lifecycle explicit:
+//     contexts register on first use, run per-subsystem retire hooks (e.g.
+//     fold traffic counters into a process-wide "retired" accumulator) and
+//     unlink from the registry when the thread exits.
+//   * Multi-instance isolation: state that is logically per (thread, instance)
+//     -- media-model caches, media traffic counters, allocation cursors --
+//     was process-global per thread, so two heaps or two indexes in one
+//     process shared and leaked counters across each other. The context keys
+//     such state per instance (see ThreadSlot and InstanceWord).
+//   * Enumeration: subsystems that must scan all threads (epoch min-scan,
+//     stats aggregation) iterate the registry's live contexts instead of
+//     maintaining their own never-shrinking side tables.
+//
+// The rule enforced by the `thread_local_lint` ctest: `thread_local` appears
+// nowhere in src/ outside src/runtime/.
+//
+// Thread-safety model:
+//   * A context's slots are created and mutated only by the owning thread;
+//     slot *pointers* are published with release stores so other threads
+//     (epoch scans, stats aggregation) may Peek them with acquire loads. The
+//     pointed-to state must use atomics for any field a foreign thread reads.
+//   * Registration/unregistration and ForEach serialize on the registry mutex,
+//     so a context never disappears mid-scan.
+#ifndef PACTREE_SRC_RUNTIME_THREAD_CONTEXT_H_
+#define PACTREE_SRC_RUNTIME_THREAD_CONTEXT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace pactree {
+
+class ThreadContext;
+class ThreadRegistry;
+
+namespace runtime_internal {
+
+// Type-erased per-slot behavior. `retire` (optional) runs at thread teardown
+// before `destroy`, with the slot object and the user cookie -- subsystems use
+// it to fold per-thread state into process-wide accumulators.
+struct SlotVtable {
+  void* (*create)() = nullptr;
+  void (*destroy)(void*) = nullptr;
+  void (*retire)(void*, void*) = nullptr;
+  void* user = nullptr;
+};
+
+// Assigns a process-unique slot id (static-init safe; aborts past capacity).
+size_t RegisterSlot(const SlotVtable& vt);
+
+}  // namespace runtime_internal
+
+// Fixed slot capacity: slots are one-per-subsystem (epoch, nvm stats, shadow,
+// fault, ...), not one-per-instance, so a small constant bound suffices.
+inline constexpr size_t kMaxThreadSlots = 16;
+
+class ThreadContext {
+ public:
+  // The calling thread's context; registers it on first use. The context is
+  // torn down automatically at thread exit (or explicitly via
+  // ThreadRegistry::UnregisterCurrentThread).
+  static ThreadContext& Current();
+  // Like Current() but never registers; null when the thread has no context.
+  static ThreadContext* CurrentIfRegistered();
+
+  // Registration-order id (0 = first thread to register, typically main).
+  // Deterministic input for round-robin striping decisions.
+  uint32_t tid() const { return tid_; }
+
+  // --- logical NUMA assignment (see src/nvm/topology.h for the policy) ----
+  bool numa_assigned() const { return numa_assigned_.load(std::memory_order_acquire); }
+  uint32_t numa_node() const { return numa_node_.load(std::memory_order_relaxed); }
+  void AssignNumaNode(uint32_t node) {
+    numa_node_.store(node, std::memory_order_relaxed);
+    numa_assigned_.store(true, std::memory_order_release);
+  }
+
+  // --- per-(thread, instance) scratch ------------------------------------
+  // A 64-bit word keyed by an instance pointer plus a small tag, created
+  // zeroed on first use. Backs allocation cursors and round-robin hints that
+  // were previously `thread_local` (and therefore wrongly shared across
+  // instances). Owner-thread access only. The word is not purged when the
+  // instance dies; users must treat its value as a hint (e.g. reduce it
+  // modulo a capacity), never as an authoritative index.
+  uint64_t& InstanceWord(const void* owner, uint32_t tag = 0);
+
+  // --- typed slots (use ThreadSlot<T>, not these directly) ----------------
+  void* PeekSlot(size_t id) const {
+    return slots_[id].load(std::memory_order_acquire);
+  }
+  void* GetOrCreateSlot(size_t id);  // owning thread only
+
+  ThreadContext(const ThreadContext&) = delete;
+  ThreadContext& operator=(const ThreadContext&) = delete;
+
+ private:
+  friend class ThreadRegistry;
+  ThreadContext() = default;
+  ~ThreadContext();
+
+  uint32_t tid_ = 0;
+  std::atomic<uint32_t> numa_node_{0};
+  std::atomic<bool> numa_assigned_{false};
+  std::atomic<void*> slots_[kMaxThreadSlots] = {};
+  std::unordered_map<uint64_t, uint64_t> words_;  // key = mix(owner, tag)
+};
+
+// One per-thread object of type T, lazily default-constructed in each thread's
+// context and destroyed at thread teardown. Declare one ThreadSlot<T> at
+// namespace scope per subsystem (ids are a process-wide resource).
+template <typename T>
+class ThreadSlot {
+ public:
+  using RetireFn = void (*)(T&);
+
+  explicit ThreadSlot(RetireFn retire = nullptr) {
+    runtime_internal::SlotVtable vt;
+    vt.create = []() -> void* { return new T(); };
+    vt.destroy = [](void* p) { delete static_cast<T*>(p); };
+    vt.retire = [](void* p, void* user) {
+      if (user != nullptr) {
+        reinterpret_cast<RetireFn>(user)(*static_cast<T*>(p));
+      }
+    };
+    vt.user = reinterpret_cast<void*>(retire);
+    id_ = runtime_internal::RegisterSlot(vt);
+  }
+
+  // The calling thread's instance (created on first use).
+  T& Get() const { return Get(ThreadContext::Current()); }
+  T& Get(ThreadContext& ctx) const {
+    return *static_cast<T*>(ctx.GetOrCreateSlot(id_));
+  }
+  // |ctx|'s instance if it exists, else null. Safe from foreign threads while
+  // the context is pinned by a registry scan.
+  T* Peek(ThreadContext& ctx) const { return static_cast<T*>(ctx.PeekSlot(id_)); }
+
+ private:
+  size_t id_;
+};
+
+class ThreadRegistry {
+ public:
+  static ThreadRegistry& Instance();
+
+  // Live (registered, not yet torn down) contexts.
+  size_t LiveCount() const { return live_count_.load(std::memory_order_acquire); }
+  // Monotone count of registrations ever (tids are drawn from this).
+  uint64_t TotalRegistered() const { return total_.load(std::memory_order_acquire); }
+
+  // Visits every live context under the registry lock; contexts cannot be
+  // torn down mid-scan. Do not register/unregister from |fn|.
+  void ForEach(const std::function<void(ThreadContext&)>& fn);
+
+  // Tears down the calling thread's context now: runs retire hooks, unlinks
+  // it, frees it. The thread may keep running; its next ThreadContext::Current
+  // registers a fresh context (new tid). For thread pools that recycle OS
+  // threads across logical jobs.
+  static void UnregisterCurrentThread();
+
+  ThreadRegistry(const ThreadRegistry&) = delete;
+  ThreadRegistry& operator=(const ThreadRegistry&) = delete;
+
+ private:
+  friend class ThreadContext;
+  ThreadRegistry() = default;
+
+  ThreadContext* RegisterCurrent();
+  void Teardown(ThreadContext* ctx);
+
+  mutable std::mutex mu_;
+  std::vector<ThreadContext*> live_;
+  std::atomic<size_t> live_count_{0};
+  std::atomic<uint64_t> total_{0};
+};
+
+// RAII registration scope: registers the calling thread's context on entry
+// (idempotent) and tears it down on exit. Worker-pool threads wrap each job in
+// one of these so per-thread substrate state never outlives the job.
+class ThreadContextScope {
+ public:
+  ThreadContextScope() { ThreadContext::Current(); }
+  ~ThreadContextScope() { ThreadRegistry::UnregisterCurrentThread(); }
+  ThreadContextScope(const ThreadContextScope&) = delete;
+  ThreadContextScope& operator=(const ThreadContextScope&) = delete;
+};
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_RUNTIME_THREAD_CONTEXT_H_

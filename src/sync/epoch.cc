@@ -2,6 +2,7 @@
 
 #include "src/common/compiler.h"
 #include "src/pmem/pool.h"
+#include "src/runtime/thread_context.h"
 
 namespace pactree {
 namespace {
@@ -19,41 +20,46 @@ class SpinGuard {
   std::atomic_flag& flag_;
 };
 
+// Per-thread epoch participation, held in the thread's ThreadContext and
+// destroyed at thread exit. A quiescent record (active_epoch == 0) vanishing
+// is indistinguishable from a thread that never entered, so teardown needs no
+// handshake with the manager; a thread cannot exit inside an EpochGuard.
+struct EpochRecord {
+  std::atomic<uint64_t> active_epoch{0};  // 0 = quiescent, else epoch+1
+  std::atomic<uint32_t> nesting{0};
+};
+
+ThreadSlot<EpochRecord>& EpochSlot() {
+  static ThreadSlot<EpochRecord>* slot = new ThreadSlot<EpochRecord>();
+  return *slot;
+}
+
 }  // namespace
 
 EpochManager& EpochManager::Instance() {
-  static EpochManager mgr;
-  return mgr;
-}
-
-EpochManager::ThreadRecord* EpochManager::LocalRecord() {
-  thread_local ThreadRecord* rec = [this] {
-    auto* r = new ThreadRecord();
-    SpinGuard guard(records_lock_);
-    records_.push_back(r);
-    record_count_.store(records_.size(), std::memory_order_release);
-    return r;
-  }();
-  return rec;
+  // Leaked: Retire/TryAdvance may run from teardown paths after static
+  // destruction begins.
+  static EpochManager* mgr = new EpochManager();
+  return *mgr;
 }
 
 void EpochManager::Enter() {
-  ThreadRecord* rec = LocalRecord();
-  if (rec->nesting.fetch_add(1, std::memory_order_relaxed) == 0) {
+  EpochRecord& rec = EpochSlot().Get();
+  if (rec.nesting.fetch_add(1, std::memory_order_relaxed) == 0) {
     uint64_t e = global_epoch_.load(std::memory_order_acquire);
-    rec->active_epoch.store(e + 1, std::memory_order_release);
+    rec.active_epoch.store(e + 1, std::memory_order_release);
     // Re-read to close the race where the epoch advanced between load/store.
     uint64_t e2 = global_epoch_.load(std::memory_order_acquire);
     if (e2 != e) {
-      rec->active_epoch.store(e2 + 1, std::memory_order_release);
+      rec.active_epoch.store(e2 + 1, std::memory_order_release);
     }
   }
 }
 
 void EpochManager::Exit() {
-  ThreadRecord* rec = LocalRecord();
-  if (rec->nesting.fetch_sub(1, std::memory_order_relaxed) == 1) {
-    rec->active_epoch.store(0, std::memory_order_release);
+  EpochRecord& rec = EpochSlot().Get();
+  if (rec.nesting.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    rec.active_epoch.store(0, std::memory_order_release);
   }
 }
 
@@ -67,15 +73,30 @@ void EpochManager::Retire(PPtr<void> block, void (*fn)(void*), void* arg) {
 }
 
 uint64_t EpochManager::MinActiveEpoch() {
+  // Scan live threads via the registry: exited threads' records are gone, so
+  // the scan cost tracks the *current* thread count, not the historical one.
   uint64_t min_e = ~uint64_t{0};
-  SpinGuard guard(records_lock_);
-  for (ThreadRecord* r : records_) {
+  ThreadRegistry::Instance().ForEach([&](ThreadContext& ctx) {
+    EpochRecord* r = EpochSlot().Peek(ctx);
+    if (r == nullptr) {
+      return;  // thread never used an EpochGuard
+    }
     uint64_t a = r->active_epoch.load(std::memory_order_acquire);
     if (a != 0 && a - 1 < min_e) {
       min_e = a - 1;
     }
-  }
+  });
   return min_e;
+}
+
+size_t EpochManager::LiveRecordCount() const {
+  size_t n = 0;
+  ThreadRegistry::Instance().ForEach([&](ThreadContext& ctx) {
+    if (EpochSlot().Peek(ctx) != nullptr) {
+      n++;
+    }
+  });
+  return n;
 }
 
 void EpochManager::TryAdvanceAndReclaim() {

@@ -38,6 +38,13 @@ class EpochManager {
   uint64_t CurrentEpoch() const { return global_epoch_.load(std::memory_order_acquire); }
   uint64_t RetiredCount() const { return retired_count_.load(std::memory_order_relaxed); }
 
+  // Threads currently holding an epoch record (i.e. live threads that have
+  // used an EpochGuard). Records live in each thread's ThreadContext
+  // (src/runtime/) and are destroyed at thread exit, so this returns to its
+  // baseline after worker threads join -- the old design leaked one record
+  // per thread forever and re-scanned all of them on every epoch advance.
+  size_t LiveRecordCount() const;
+
  private:
   struct Retired {
     uint64_t epoch;
@@ -46,28 +53,17 @@ class EpochManager {
     void* arg;
   };
 
-  struct ThreadRecord {
-    std::atomic<uint64_t> active_epoch{0};  // 0 = quiescent, else epoch+1
-    std::atomic<uint32_t> nesting{0};
-  };
-
   EpochManager() = default;
-  ThreadRecord* LocalRecord();
   uint64_t MinActiveEpoch();
   void ReclaimUpTo(uint64_t epoch);
 
   std::atomic<uint64_t> global_epoch_{2};
   std::atomic<uint64_t> retired_count_{0};
 
-  // Registered thread records (leaked; threads outlive the registry entries).
-  std::vector<ThreadRecord*> records_;
-  std::atomic<size_t> record_count_{0};
-
   // Shared retire list (mutex-protected; retire volume is SMO-rate, not
   // op-rate, so contention is negligible).
   std::vector<Retired> retired_;
   std::atomic_flag retired_lock_ = ATOMIC_FLAG_INIT;
-  std::atomic_flag records_lock_ = ATOMIC_FLAG_INIT;
 };
 
 class EpochGuard {

@@ -68,7 +68,7 @@ YcsbResult YcsbDriver::Load(RangeIndex* index, const YcsbSpec& spec) {
   std::vector<LatencyHistogram> lats(spec.threads);
   for (uint32_t t = 0; t < spec.threads; ++t) {
     threads.emplace_back([&, t] {
-      SetCurrentNumaNode(t % GlobalNvmConfig().numa_nodes);
+      AssignWorkerThread(t);
       Rng rng(spec.seed * 131 + t);
       while (!start.load(std::memory_order_acquire)) {
         CpuRelax();
@@ -118,7 +118,7 @@ YcsbResult YcsbDriver::Run(RangeIndex* index, const YcsbSpec& spec) {
 
   for (uint32_t t = 0; t < spec.threads; ++t) {
     threads.emplace_back([&, t] {
-      SetCurrentNumaNode(t % GlobalNvmConfig().numa_nodes);
+      AssignWorkerThread(t);
       Rng rng(spec.seed * 31 + t + 1);
       std::vector<std::pair<Key, uint64_t>> scan_buf;
       while (!start.load(std::memory_order_acquire)) {

@@ -1,0 +1,220 @@
+// Tests for the per-thread runtime layer: ThreadContext registration and
+// teardown, per-instance scratch words, epoch-record lifecycle, and the
+// fold-at-exit behavior of the NVM traffic counters.
+#include "src/runtime/thread_context.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/nvm/config.h"
+#include "src/nvm/stats.h"
+#include "src/nvm/topology.h"
+#include "src/sync/epoch.h"
+
+namespace pactree {
+namespace {
+
+TEST(ThreadRegistryTest, LiveCountReturnsToBaselineAfterJoin) {
+  ThreadContext::Current();  // the test thread is part of the baseline
+  size_t baseline = ThreadRegistry::Instance().LiveCount();
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([] { ThreadContext::Current(); });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // join() returns only after the thread's TLS destructors ran, so the
+  // contexts are already torn down.
+  EXPECT_EQ(ThreadRegistry::Instance().LiveCount(), baseline);
+}
+
+TEST(ThreadRegistryTest, TidsAreUnique) {
+  constexpr int kThreads = 16;
+  std::mutex mu;
+  std::set<uint32_t> tids;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      uint32_t tid = ThreadContext::Current().tid();
+      std::lock_guard<std::mutex> lock(mu);
+      tids.insert(tid);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+  EXPECT_EQ(tids.count(ThreadContext::Current().tid()), 0u);
+}
+
+TEST(ThreadRegistryTest, ExplicitUnregisterAllowsReRegistration) {
+  std::thread([] {
+    uint32_t tid1 = ThreadContext::Current().tid();
+    ThreadRegistry::UnregisterCurrentThread();
+    EXPECT_EQ(ThreadContext::CurrentIfRegistered(), nullptr);
+    // The same OS thread re-registers as a logically fresh thread.
+    uint32_t tid2 = ThreadContext::Current().tid();
+    EXPECT_NE(tid1, tid2);
+  }).join();
+}
+
+TEST(ThreadRegistryTest, ScopeTearsDownOnExit) {
+  std::thread([] {
+    {
+      ThreadContextScope scope;
+      EXPECT_NE(ThreadContext::CurrentIfRegistered(), nullptr);
+    }
+    EXPECT_EQ(ThreadContext::CurrentIfRegistered(), nullptr);
+  }).join();
+}
+
+TEST(ThreadRegistryTest, ForEachSeesLiveThreads) {
+  ThreadContext::Current();
+  std::atomic<bool> go{false};
+  std::atomic<bool> ready{false};
+  std::thread helper([&] {
+    ThreadContext::Current();
+    ready.store(true);
+    while (!go.load()) {
+      std::this_thread::yield();
+    }
+  });
+  while (!ready.load()) {
+    std::this_thread::yield();
+  }
+  size_t seen = 0;
+  ThreadRegistry::Instance().ForEach([&](ThreadContext&) { seen++; });
+  EXPECT_GE(seen, 2u);
+  go.store(true);
+  helper.join();
+}
+
+TEST(InstanceWordTest, KeyedByOwnerAndTag) {
+  int owner_a = 0;
+  int owner_b = 0;
+  ThreadContext& ctx = ThreadContext::Current();
+  EXPECT_EQ(ctx.InstanceWord(&owner_a), 0u);  // zero-initialized on first use
+  ctx.InstanceWord(&owner_a) = 7;
+  ctx.InstanceWord(&owner_b) = 9;
+  ctx.InstanceWord(&owner_a, /*tag=*/1) = 11;
+  EXPECT_EQ(ctx.InstanceWord(&owner_a), 7u);
+  EXPECT_EQ(ctx.InstanceWord(&owner_b), 9u);
+  EXPECT_EQ(ctx.InstanceWord(&owner_a, /*tag=*/1), 11u);
+}
+
+TEST(InstanceWordTest, IndependentAcrossThreads) {
+  int owner = 0;
+  ThreadContext::Current().InstanceWord(&owner) = 42;
+  std::thread([&] {
+    EXPECT_EQ(ThreadContext::Current().InstanceWord(&owner), 0u);
+    ThreadContext::Current().InstanceWord(&owner) = 17;
+  }).join();
+  EXPECT_EQ(ThreadContext::Current().InstanceWord(&owner), 42u);
+}
+
+// Regression test for the epoch-record leak: the old EpochManager pushed one
+// ThreadRecord per thread into a process-global vector and never removed it,
+// so every epoch advance scanned every thread that had EVER existed. Records
+// now live in the thread's ThreadContext and die with it.
+TEST(EpochRecordTest, RecordCountReturnsToBaselineAfterJoin) {
+  EpochManager& mgr = EpochManager::Instance();
+  { EpochGuard g; }  // the test thread holds a record and is the baseline
+  size_t baseline = mgr.LiveRecordCount();
+  EXPECT_GE(baseline, 1u);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> entered{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      { EpochGuard g; }
+      entered.fetch_add(1);
+      while (!go.load()) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  while (entered.load() < kThreads) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(mgr.LiveRecordCount(), baseline + kThreads);
+  go.store(true);
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(mgr.LiveRecordCount(), baseline);
+  // The manager stays functional with the records gone.
+  mgr.TryAdvanceAndReclaim();
+  uint64_t e = mgr.CurrentEpoch();
+  mgr.TryAdvanceAndReclaim();
+  EXPECT_GE(mgr.CurrentEpoch(), e);
+}
+
+TEST(EpochRecordTest, ActiveGuardBlocksAdvance) {
+  EpochManager& mgr = EpochManager::Instance();
+  std::atomic<bool> in_guard{false};
+  std::atomic<bool> release{false};
+  std::thread holder([&] {
+    EpochGuard g;
+    in_guard.store(true);
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+  });
+  while (!in_guard.load()) {
+    std::this_thread::yield();
+  }
+  uint64_t pinned = mgr.CurrentEpoch();
+  // The holder pins the epoch: repeated advances make at most one step (the
+  // advance that was already permitted when the holder entered).
+  for (int i = 0; i < 5; ++i) {
+    mgr.TryAdvanceAndReclaim();
+  }
+  EXPECT_LE(mgr.CurrentEpoch(), pinned + 1);
+  release.store(true);
+  holder.join();
+}
+
+// Exited threads' traffic folds into the process-wide totals: the aggregate
+// must not drop when a worker joins.
+TEST(NvmStatsFoldTest, ExitedThreadCountersFoldIntoGlobals) {
+  uint64_t before = GlobalNvmStats().fences;
+  std::thread([] { LocalNvmCounters().fences += 123; }).join();
+  EXPECT_GE(GlobalNvmStats().fences - before, 123u);
+}
+
+TEST(TopologyTest, NumaAssignmentIsPerThread) {
+  NvmConfig saved = GlobalNvmConfig();
+  GlobalNvmConfig() = NvmConfig();
+  GlobalNvmConfig().numa_nodes = 2;
+  SetCurrentNumaNode(1);
+  std::thread([] {
+    SetCurrentNumaNode(0);
+    EXPECT_EQ(CurrentNumaNode(), 0u);
+  }).join();
+  EXPECT_EQ(CurrentNumaNode(), 1u);
+  GlobalNvmConfig() = saved;
+}
+
+TEST(TopologyTest, AssignWorkerThreadStripesAcrossNodes) {
+  NvmConfig saved = GlobalNvmConfig();
+  GlobalNvmConfig() = NvmConfig();
+  GlobalNvmConfig().numa_nodes = 2;
+  for (uint32_t w : {0u, 1u, 2u, 5u}) {
+    std::thread([w] {
+      AssignWorkerThread(w);
+      EXPECT_EQ(CurrentNumaNode(), w % 2);
+    }).join();
+  }
+  GlobalNvmConfig() = saved;
+}
+
+}  // namespace
+}  // namespace pactree

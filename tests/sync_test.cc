@@ -82,15 +82,19 @@ TEST(VersionLockTest, WritersCountMatchesUnderContention) {
 
 TEST(VersionLockTest, ReadersNeverSeeTornState) {
   OptVersionLock lock;
-  uint64_t a = 0;
-  uint64_t b = 0;  // invariant under the lock: a == b
+  // Relaxed atomics stand in for the protected fields: optimistic readers
+  // race with the writer by design (validation discards torn observations),
+  // and relaxed access keeps each word's read well-defined without adding
+  // any ordering the lock protocol doesn't provide itself.
+  std::atomic<uint64_t> a{0};
+  std::atomic<uint64_t> b{0};  // invariant under the lock: a == b
   std::atomic<bool> stop{false};
   std::atomic<bool> torn{false};
   std::thread writer([&] {
     for (int i = 1; i < 50000; ++i) {
       lock.WriteLock();
-      a = i;
-      b = i;
+      a.store(i, std::memory_order_relaxed);
+      b.store(i, std::memory_order_relaxed);
       lock.WriteUnlock();
     }
     stop.store(true);
@@ -100,8 +104,8 @@ TEST(VersionLockTest, ReadersNeverSeeTornState) {
     readers.emplace_back([&] {
       while (!stop.load(std::memory_order_acquire)) {
         uint64_t token = lock.ReadLock();
-        uint64_t ra = a;
-        uint64_t rb = b;
+        uint64_t ra = a.load(std::memory_order_relaxed);
+        uint64_t rb = b.load(std::memory_order_relaxed);
         if (lock.Validate(token) && ra != rb) {
           torn.store(true);
         }
