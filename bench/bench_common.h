@@ -8,6 +8,7 @@
 #define PACTREE_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -17,22 +18,30 @@
 #include "src/nvm/config.h"
 #include "src/nvm/bandwidth.h"
 #include "src/nvm/topology.h"
+#include "src/runtime/maintenance.h"
 #include "src/sync/epoch.h"
 #include "src/workload/ycsb.h"
 
 namespace pactree {
 
 // Flags shared by every figure binary:
-//   --pin  pin worker threads to CPUs, round-robin across the logical NUMA
-//          nodes (also enabled by PAC_PIN=1). Placement is deterministic:
-//          worker i lands on logical node i % nodes and on seat i / nodes of
-//          that node's contiguous CPU group, so a rerun reproduces the same
-//          thread-to-CPU map.
+//   --pin         pin worker threads to CPUs, round-robin across the logical
+//                 NUMA nodes (also enabled by PAC_PIN=1). Placement is
+//                 deterministic: worker i lands on logical node i % nodes and
+//                 on seat i / nodes of that node's contiguous CPU group, so a
+//                 rerun reproduces the same thread-to-CPU map.
+//   --updaters=N  run N PACTree background updater services (also settable
+//                 via PAC_UPDATERS; default is one per logical NUMA node).
 inline void ParseBenchFlags(int argc, char** argv) {
   bool pin = EnvU64("PAC_PIN", 0) != 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--pin") {
+    std::string arg(argv[i]);
+    if (arg == "--pin") {
       pin = true;
+    } else if (arg.rfind("--updaters=", 0) == 0) {
+      // Indexes read PAC_UPDATERS at Open; routing the flag through the env
+      // var keeps one resolution path for flag, env, and library callers.
+      setenv("PAC_UPDATERS", arg.substr(11).c_str(), 1);
     }
   }
   SetThreadPinning(pin);
@@ -96,6 +105,24 @@ inline std::unique_ptr<RangeIndex> MakeLoaded(IndexKind kind, const YcsbSpec& sp
   YcsbDriver::Load(index.get(), spec);
   index->Drain();
   return index;
+}
+
+// Per-service maintenance report: one comment row per background service whose
+// name starts with |prefix| ("" = every registered service). Benches call this
+// after a run phase, before CleanupIndex tears the services down.
+inline void PrintMaintenanceStats(const std::string& prefix = "") {
+  for (const MaintenanceStats& s :
+       MaintenanceRegistry::Instance().StatsSnapshot(prefix)) {
+    std::printf(
+        "# service %-24s node=%-2d passes=%llu applied=%llu idle_wakeups=%llu "
+        "drains=%llu pass_p50_us=%.1f pass_p99_us=%.1f\n",
+        s.name.c_str(), s.numa_node, static_cast<unsigned long long>(s.passes),
+        static_cast<unsigned long long>(s.items),
+        static_cast<unsigned long long>(s.idle_wakeups),
+        static_cast<unsigned long long>(s.drains),
+        s.pass_latency.Percentile(50) / 1e3, s.pass_latency.Percentile(99) / 1e3);
+  }
+  std::fflush(stdout);
 }
 
 inline void CleanupIndex(std::unique_ptr<RangeIndex> index, IndexKind kind) {

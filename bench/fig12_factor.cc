@@ -73,6 +73,11 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
     }
     std::printf("\n");
+    if (v.async_update) {
+      // Per-updater replay accounting for the async variants: how many SMOs
+      // each per-NUMA service applied, and at what per-pass latency.
+      PrintMaintenanceStats();
+    }
     CleanupIndex(std::move(index), v.kind);
   }
   std::printf("# paper shape: +PerNUMA up to 2x on writes, +SlottedLeaf up to 2.5x,\n"

@@ -65,6 +65,10 @@ int main(int argc, char** argv) {
                 100.0 * static_cast<double>(hops[i]) / static_cast<double>(total));
   }
   std::printf("# paper: 68%% direct, 30%% one hop (112 threads, W-A)\n");
+  std::printf("# smo: applied=%llu ring_full_waits=%llu\n",
+              static_cast<unsigned long long>(s1.smo_applied),
+              static_cast<unsigned long long>(s1.smo_ring_full_waits));
+  PrintMaintenanceStats();
   tree.reset();
   EpochManager::Instance().DrainAll();
   PacTree::Destroy("sec67");

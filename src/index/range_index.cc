@@ -187,6 +187,7 @@ std::unique_ptr<RangeIndex> CreateIndex(IndexKind kind, const IndexFactoryOption
       o.selective_persistence = opts.pactree_selective_persistence;
       o.dram_search_layer = opts.pactree_dram_search_layer;
       o.per_numa_pools = opts.per_numa_pools;
+      o.updater_count = opts.pactree_updaters;
       auto tree = PacTree::Open(o);
       return tree == nullptr ? nullptr
                              : std::make_unique<PacTreeIndex>(std::move(tree));

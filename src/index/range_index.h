@@ -73,6 +73,9 @@ struct IndexFactoryOptions {
   bool pactree_async_update = true;
   bool pactree_selective_persistence = true;
   bool pactree_dram_search_layer = false;
+  // Background updater services (0 = auto: PAC_UPDATERS env var if set, else
+  // one per logical NUMA node).
+  uint32_t pactree_updaters = 0;
   // FP-Tree HTM model (ignored by other kinds).
   double fptree_spurious_abort_per_line = 0.0;
   // Reopen existing pool files and run recovery instead of destroying them --

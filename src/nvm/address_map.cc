@@ -8,11 +8,35 @@ namespace {
 
 constexpr size_t kMaxRanges = 256;
 
-// Append-only table; lookups scan without locks. `count` is released after a
-// slot is fully initialized so readers never observe a torn entry.
-NvmRange g_ranges[kMaxRanges];
+// Slot table with lock-free readers. Every field is atomic; `active` is the
+// publication flag: writers store it with release order after filling the
+// other fields, readers load it with acquire order before reading them.
+// Slots are reused after UnregisterNvmRange — field rewrites happen only
+// under g_mu while `active` is false, and readers re-check `active` after
+// copying the fields, so a concurrent deactivation is detected and skipped.
+// (A full deactivate+reuse cycle inside one reader's copy window could still
+// misattribute a single access during teardown churn; that is harmless to the
+// media accounting and vanishingly rare.)
+struct Slot {
+  std::atomic<uintptr_t> base{0};
+  std::atomic<size_t> size{0};
+  std::atomic<uint32_t> node{0};
+  std::atomic<uint16_t> pool_id{0};
+  std::atomic<bool> active{false};
+};
+
+Slot g_ranges[kMaxRanges];
 std::atomic<size_t> g_count{0};
 std::mutex g_mu;
+
+void FillSlot(Slot& s, void* base, size_t size, uint32_t node,
+              uint16_t pool_id) {
+  s.base.store(reinterpret_cast<uintptr_t>(base), std::memory_order_relaxed);
+  s.size.store(size, std::memory_order_relaxed);
+  s.node.store(node, std::memory_order_relaxed);
+  s.pool_id.store(pool_id, std::memory_order_relaxed);
+  s.active.store(true, std::memory_order_release);
+}
 
 }  // namespace
 
@@ -21,24 +45,15 @@ void RegisterNvmRange(void* base, size_t size, uint32_t node, uint16_t pool_id) 
   size_t n = g_count.load(std::memory_order_relaxed);
   // Reuse a deactivated slot if possible.
   for (size_t i = 0; i < n; ++i) {
-    if (!g_ranges[i].active) {
-      g_ranges[i].base = reinterpret_cast<uintptr_t>(base);
-      g_ranges[i].size = size;
-      g_ranges[i].node = node;
-      g_ranges[i].pool_id = pool_id;
-      std::atomic_thread_fence(std::memory_order_release);
-      g_ranges[i].active = true;
+    if (!g_ranges[i].active.load(std::memory_order_relaxed)) {
+      FillSlot(g_ranges[i], base, size, node, pool_id);
       return;
     }
   }
   if (n >= kMaxRanges) {
     return;  // silently unmodeled; media accounting simply skips the range
   }
-  g_ranges[n].base = reinterpret_cast<uintptr_t>(base);
-  g_ranges[n].size = size;
-  g_ranges[n].node = node;
-  g_ranges[n].pool_id = pool_id;
-  g_ranges[n].active = true;
+  FillSlot(g_ranges[n], base, size, node, pool_id);
   g_count.store(n + 1, std::memory_order_release);
 }
 
@@ -46,23 +61,38 @@ void UnregisterNvmRange(void* base) {
   std::lock_guard<std::mutex> lock(g_mu);
   size_t n = g_count.load(std::memory_order_relaxed);
   for (size_t i = 0; i < n; ++i) {
-    if (g_ranges[i].base == reinterpret_cast<uintptr_t>(base)) {
-      g_ranges[i].active = false;
+    if (g_ranges[i].active.load(std::memory_order_relaxed) &&
+        g_ranges[i].base.load(std::memory_order_relaxed) ==
+            reinterpret_cast<uintptr_t>(base)) {
+      g_ranges[i].active.store(false, std::memory_order_release);
       return;
     }
   }
 }
 
-const NvmRange* LookupNvmRange(const void* p) {
+bool LookupNvmRange(const void* p, NvmRange* out) {
   uintptr_t addr = reinterpret_cast<uintptr_t>(p);
   size_t n = g_count.load(std::memory_order_acquire);
   for (size_t i = 0; i < n; ++i) {
-    const NvmRange& r = g_ranges[i];
-    if (r.active && addr >= r.base && addr < r.base + r.size) {
-      return &r;
+    Slot& s = g_ranges[i];
+    if (!s.active.load(std::memory_order_acquire)) {
+      continue;
     }
+    uintptr_t base = s.base.load(std::memory_order_relaxed);
+    size_t size = s.size.load(std::memory_order_relaxed);
+    if (addr < base || addr >= base + size) {
+      continue;
+    }
+    out->base = base;
+    out->size = size;
+    out->node = s.node.load(std::memory_order_relaxed);
+    out->pool_id = s.pool_id.load(std::memory_order_relaxed);
+    if (!s.active.load(std::memory_order_acquire)) {
+      continue;  // deactivated mid-copy: the range is being unmapped
+    }
+    return true;
   }
-  return nullptr;
+  return false;
 }
 
 }  // namespace pactree

@@ -13,16 +13,17 @@ struct NvmRange {
   size_t size = 0;
   uint32_t node = 0;     // owning logical NUMA node
   uint16_t pool_id = 0;  // pmem pool id (0 = unregistered)
-  bool active = false;
 };
 
 // Registers/unregisters a mapped range. Thread-safe; ranges are few.
 void RegisterNvmRange(void* base, size_t size, uint32_t node, uint16_t pool_id);
 void UnregisterNvmRange(void* base);
 
-// Returns the range containing p, or nullptr if p is not on emulated NVM.
-// Lock-free lookup (ranges are only appended / deactivated).
-const NvmRange* LookupNvmRange(const void* p);
+// If p lies on emulated NVM, copies its range into *out and returns true.
+// Lock-free: slots publish through per-field atomics, so lookups stay safe
+// against a concurrent Register/Unregister (e.g. another instance tearing
+// down its pools while this thread's maintenance services persist data).
+bool LookupNvmRange(const void* p, NvmRange* out);
 
 }  // namespace pactree
 

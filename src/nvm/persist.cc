@@ -46,8 +46,8 @@ void PersistRange(const void* p, size_t n) {
   if (n == 0) {
     return;
   }
-  const NvmRange* range = LookupNvmRange(p);
-  if (range == nullptr) {
+  NvmRange range;
+  if (!LookupNvmRange(p, &range)) {
     return;  // DRAM-resident object: no persistence needed or modeled
   }
   if (ShadowHeap::IsActive()) {
@@ -59,14 +59,14 @@ void PersistRange(const void* p, size_t n) {
   const NvmConfig& cfg = GlobalNvmConfig();
   // The media model and the traffic counters are keyed per (thread, pool):
   // independent heaps in one process never share cache warmth or counters.
-  NvmDomain& dom = LocalNvmState().DomainFor(range->pool_id);
+  NvmDomain& dom = LocalNvmState().DomainFor(range.pool_id);
   NvmThreadCounters& c = dom.counters;
   MediaModel& m = dom.media;
   m.EnsureSized();
 
   uintptr_t start = CacheLineOf(p);
   uintptr_t end = reinterpret_cast<uintptr_t>(p) + n;
-  bool remote = range->node != CurrentNumaNode();
+  bool remote = range.node != CurrentNumaNode();
   double lat_mult = remote ? cfg.remote_multiplier : 1.0;
 
   uintptr_t prev_xp = ~uintptr_t{0};
@@ -91,7 +91,7 @@ void PersistRange(const void* p, size_t n) {
       SpinNs(static_cast<uint64_t>(cfg.flush_ns * lat_mult));
     }
     if (cfg.emulate_bandwidth) {
-      BandwidthModel::Instance().ConsumeWrite(range->node, kXpLineSize);
+      BandwidthModel::Instance().ConsumeWrite(range.node, kXpLineSize);
     }
   }
 }
@@ -117,17 +117,17 @@ void AnnotateNvmRead(const void* p, size_t n) {
   if (n == 0) {
     return;
   }
-  const NvmRange* range = LookupNvmRange(p);
-  if (range == nullptr) {
+  NvmRange range;
+  if (!LookupNvmRange(p, &range)) {
     return;
   }
   const NvmConfig& cfg = GlobalNvmConfig();
-  NvmDomain& dom = LocalNvmState().DomainFor(range->pool_id);
+  NvmDomain& dom = LocalNvmState().DomainFor(range.pool_id);
   NvmThreadCounters& c = dom.counters;
   MediaModel& m = dom.media;
   m.EnsureSized();
 
-  bool remote = range->node != CurrentNumaNode();
+  bool remote = range.node != CurrentNumaNode();
   bool directory = cfg.coherence == CoherenceProtocol::kDirectory;
   double lat_mult = remote ? cfg.remote_multiplier : 1.0;
 
@@ -161,11 +161,11 @@ void AnnotateNvmRead(const void* p, size_t n) {
       SpinNs(ns);
     }
     if (cfg.emulate_bandwidth) {
-      BandwidthModel::Instance().ConsumeRead(range->node, kXpLineSize);
+      BandwidthModel::Instance().ConsumeRead(range.node, kXpLineSize);
       if (remote && directory) {
         // The directory update competes for the scarce write bandwidth: this
         // coupling is what melts remote read bandwidth down (Figure 2).
-        BandwidthModel::Instance().ConsumeWrite(range->node, kCacheLineSize);
+        BandwidthModel::Instance().ConsumeWrite(range.node, kCacheLineSize);
       }
     }
   }

@@ -1,0 +1,26 @@
+// Persistent root object layout, shared by the front-end (pactree.cc) and
+// crash recovery (recovery.cc). Internal to src/pactree/.
+#ifndef PACTREE_SRC_PACTREE_PAC_ROOT_H_
+#define PACTREE_SRC_PACTREE_PAC_ROOT_H_
+
+#include <cstdint>
+
+#include "src/art/art.h"
+#include "src/pactree/pactree.h"
+#include "src/pactree/smo_log.h"
+
+namespace pactree {
+
+// Placed in the data heap's primary root area.
+struct PacTree::PacRoot {
+  // NOLINT: must fit the pool root area (checked in Init).
+  uint64_t magic;
+  uint64_t head_raw;
+  uint64_t pad[6];
+  uint64_t log_raws[kMaxWriterSlots];
+  ArtTreeRoot art;
+};
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_PACTREE_PAC_ROOT_H_

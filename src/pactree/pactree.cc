@@ -2,16 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <cstring>
-#include <mutex>
-#include <unordered_map>
 
 #include "src/common/compiler.h"
+#include "src/common/env.h"
 #include "src/nvm/config.h"
 #include "src/nvm/persist.h"
+#include "src/pactree/pac_root.h"
 #include "src/pmem/registry.h"
-#include "src/runtime/thread_context.h"
 #include "src/sync/epoch.h"
 #include "src/sync/gen_sync.h"
 #include "src/sync/generation.h"
@@ -22,17 +20,20 @@ namespace {
 constexpr uint64_t kPacMagic = 0x3145455254434150ULL;  // "PACTREE1"
 constexpr int kMergeThreshold = 24;  // merge when combined live keys fit easily
 constexpr uint64_t kPermBuilding = 1ULL << 63;
-}  // namespace
 
-// Persistent root object, placed in the data heap's primary root area.
-struct PacTree::PacRoot {
-  // NOLINT: must fit the pool root area (checked below).
-  uint64_t magic;
-  uint64_t head_raw;
-  uint64_t pad[6];
-  uint64_t log_raws[kMaxWriterSlots];
-  ArtTreeRoot art;
-};
+// Updater-service count: explicit option, else PAC_UPDATERS, else one per
+// logical NUMA node (§4.3's per-NUMA replay sharding).
+uint32_t ResolveUpdaterCount(const PacTreeOptions& opts) {
+  uint64_t n = opts.updater_count;
+  if (n == 0) {
+    n = EnvU64("PAC_UPDATERS", 0);
+  }
+  if (n == 0) {
+    n = std::max<uint32_t>(1, GlobalNvmConfig().numa_nodes);
+  }
+  return static_cast<uint32_t>(std::min<uint64_t>(n, kMaxWriterSlots));
+}
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Open / create / recover
@@ -124,442 +125,48 @@ bool PacTree::Init(const PacTreeOptions& opts) {
     art_ = std::make_unique<PdlArt>(search_heap_.get(), &root_->art);
   }
 
+  SmoUpdater::Options u;
+  u.name = opts_.name;
+  u.shards = ResolveUpdaterCount(opts_);
+  u.ring_capacity = opts_.smo_ring_capacity;
+  u.async = opts_.async_search_update;
+  updater_ = std::make_unique<SmoUpdater>(u, art_.get());
   for (size_t i = 0; i < kMaxWriterSlots; ++i) {
-    logs_[i] = PPtr<SmoLog>(root_->log_raws[i]).get();
+    updater_->AttachLog(i, PPtr<SmoLog>(root_->log_raws[i]).get());
   }
 
+  // Recovery replays the rings single-threaded, then resets them; only after
+  // that do the per-shard updater services (and the shared epoch-reclaim
+  // service) come up.
   Recover();
 
   if (opts_.async_search_update) {
-    stop_updater_.store(false, std::memory_order_release);
-    updater_ = std::thread([this] { UpdaterLoop(); });
+    updater_->StartServices();
+    EpochReclaimService::Acquire();
   }
   return true;
 }
 
 PacTree::~PacTree() {
-  if (updater_.joinable()) {
-    DrainSmoLogs();
-    stop_updater_.store(true, std::memory_order_release);
-    updater_.join();
-  } else {
-    DrainSmoLogs();
+  if (updater_ == nullptr) {
+    return;  // Init failed before the updater came up (e.g. bad pool file)
+  }
+  // Drain while the services are still live (CV barrier; falls back to inline
+  // replay in sync mode), then tear them down and release the shared
+  // epoch-reclaim service.
+  DrainSmoLogs();
+  updater_->StopServices();
+  if (opts_.async_search_update) {
+    EpochReclaimService::Release();
   }
   for (int i = 0; i < 8; ++i) {
     EpochManager::Instance().TryAdvanceAndReclaim();
   }
 }
 
-void PacTree::Recover() {
-  // Gather every pending SMO entry across the per-writer logs.
-  // Scan entire rings (not just [head, tail]): the persisted tail may lag a
-  // published entry that a crash cut off.
-  std::vector<SmoLogEntry*> pending;
-  uint64_t max_seq = 0;
-  for (size_t s = 0; s < kMaxWriterSlots; ++s) {
-    SmoLog* log = logs_[s];
-    if (log == nullptr) {
-      continue;
-    }
-    for (size_t i = 0; i < kSmoLogEntries; ++i) {
-      SmoLogEntry& e = log->entries[i];
-      if (e.type == 0) {
-        continue;
-      }
-      if (e.checksum != SmoEntryChecksum(e)) {
-        // A split crash between AllocTo's attach and the checksum re-seal
-        // leaves the entry validating only with other_raw treated as 0. The
-        // data layer is untouched at that point, so release the fresh node
-        // and forget the split.
-        SmoLogEntry probe = e;
-        probe.other_raw = 0;
-        if (e.type == kSmoTypeSplit && e.other_raw != 0 &&
-            e.checksum == SmoEntryChecksum(probe)) {
-          PmemFree(PPtr<void>(e.other_raw));
-        }
-        // Anything else is a torn publish: part of the entry committed next
-        // to a recycled slot's stale payload. The entry's fence precedes all
-        // data mutation, so discarding it means the SMO never started.
-        std::memset(static_cast<void*>(&e), 0, sizeof(e));
-        PersistFence(&e, sizeof(e));
-        continue;
-      }
-      max_seq = std::max(max_seq, e.seq);
-      if (!e.applied) {
-        pending.push_back(&e);
-      }
-    }
-  }
-  smo_seq_.store(max_seq + 1, std::memory_order_relaxed);
-  // In-flight entries (seq not yet published) are the last op of their writer
-  // and replay after every published one.
-  auto order = [](const SmoLogEntry* e) { return e->seq == 0 ? ~uint64_t{0} : e->seq; };
-  std::sort(pending.begin(), pending.end(),
-            [&](const SmoLogEntry* a, const SmoLogEntry* b) { return order(a) < order(b); });
+void PacTree::DrainSmoLogs() { updater_->Drain(); }
 
-  for (SmoLogEntry* e : pending) {
-    if (e->type == kSmoTypeSplit) {
-      RecoverSplit(e);
-    } else {
-      RecoverMerge(e);
-    }
-  }
-
-  if (opts_.dram_search_layer) {
-    // Rebuild the volatile trie from the (now consistent) data layer.
-    DataNode* node = PPtr<DataNode>(root_->head_raw).get();
-    while (node != nullptr) {
-      if (!node->IsDeleted()) {
-        art_->Insert(node->anchor, ToPPtr(node).Cast<void>().raw);
-      }
-      node = node->Next();
-    }
-  }
-
-  art_->Recover();
-
-  // All pending work has been rolled forward; reset the rings.
-  for (size_t s = 0; s < kMaxWriterSlots; ++s) {
-    SmoLog* log = logs_[s];
-    if (log == nullptr) {
-      continue;
-    }
-    std::memset(static_cast<void*>(log->entries), 0, sizeof(log->entries));
-    log->head = 0;
-    log->tail = 0;
-    PersistFence(log, sizeof(SmoLog));
-  }
-}
-
-void PacTree::RecoverSplit(SmoLogEntry* e) {
-  DataNode* node = PPtr<DataNode>(e->node_raw).get();
-  uint64_t new_raw = e->other_raw;
-  if (new_raw == 0) {
-    // Crash before the new node was even allocated: the split never became
-    // visible and the triggering insert was never acknowledged. Drop it.
-    return;
-  }
-  DataNode* new_node = PPtr<DataNode>(new_raw).get();
-  // Is the new node linked into the list? Walk forward from the split node.
-  bool linked = false;
-  DataNode* cur = node;
-  for (int hops = 0; hops < 1 << 20 && cur != nullptr; ++hops) {
-    uint64_t nxt = cur->NextRaw();
-    if (nxt == new_raw) {
-      linked = true;
-      break;
-    }
-    cur = PPtr<DataNode>(nxt).get();
-    if (cur == nullptr || cur->anchor > e->anchor) {
-      break;
-    }
-  }
-  if (!linked) {
-    // Not visible: release the allocated node and forget the split.
-    PmemFree(PPtr<void>(new_raw));
-    return;
-  }
-  // Visible: roll forward. (1) the predecessor must not keep keys that moved.
-  DataNode* pred = PPtr<DataNode>(new_node->PrevRaw()).get();
-  if (pred != nullptr) {
-    uint64_t bm = pred->Bitmap();
-    uint64_t trimmed = bm;
-    while (bm != 0) {
-      int i = __builtin_ctzll(bm);
-      if (pred->keys[i] >= e->anchor) {
-        trimmed &= ~(1ULL << i);
-      }
-      bm &= bm - 1;
-    }
-    if (trimmed != pred->Bitmap()) {
-      pred->PublishBitmap(trimmed);
-    }
-  }
-  // (2) the right neighbor's back-pointer.
-  DataNode* right = PPtr<DataNode>(new_node->NextRaw()).get();
-  if (right != nullptr && right->PrevRaw() != new_raw) {
-    right->StorePrevPersist(new_raw);
-  }
-  // (3) the search layer.
-  art_->Insert(e->anchor, new_raw);
-  e->applied = 1;
-  PersistFence(&e->applied, sizeof(e->applied));
-}
-
-void PacTree::RecoverMerge(SmoLogEntry* e) {
-  DataNode* node = PPtr<DataNode>(e->node_raw).get();
-  DataNode* right = PPtr<DataNode>(e->other_raw).get();
-  if (right == nullptr) {
-    return;
-  }
-  if (!right->IsDeleted()) {
-    // Copy phase may be incomplete: move over every live key the survivor does
-    // not already hold, then mark the victim deleted.
-    uint64_t bm = right->Bitmap();
-    uint64_t add = 0;
-    while (bm != 0) {
-      int i = __builtin_ctzll(bm);
-      bm &= bm - 1;
-      const Key& k = right->keys[i];
-      if (node->FindKey(k, k.Fingerprint()) >= 0) {
-        continue;
-      }
-      uint64_t live = node->Bitmap() | add;
-      if (live == ~0ULL) {
-        break;  // no room: abandon the merge roll-forward (victim stays live)
-      }
-      int free = __builtin_ctzll(~live);
-      node->FillSlot(free, k, k.Fingerprint(), right->values[i]);
-      add |= 1ULL << free;
-    }
-    if ((right->Bitmap() != 0 && add == 0 && node->Bitmap() == ~0ULL)) {
-      return;  // could not complete; leave both nodes live (list still valid)
-    }
-    if (add != 0) {
-      node->PublishBitmap(node->Bitmap() | add);
-    }
-    std::atomic_ref<uint32_t>(right->deleted).store(1, std::memory_order_release);
-    PersistFence(&right->deleted, sizeof(right->deleted));
-  }
-  // Unlink.
-  if (node->NextRaw() == e->other_raw) {
-    node->StoreNextPersist(right->NextRaw());
-  }
-  DataNode* r2 = PPtr<DataNode>(right->NextRaw()).get();
-  if (r2 != nullptr && r2->PrevRaw() == e->other_raw) {
-    r2->StorePrevPersist(e->node_raw);
-  }
-  // Search layer + physical free (recovery is single-threaded: free directly).
-  art_->Remove(e->anchor);
-  e->applied = 1;
-  PersistFence(&e->applied, sizeof(e->applied));
-  PmemFree(PPtr<void>(e->other_raw));
-}
-
-// ---------------------------------------------------------------------------
-// Writer-slot / SMO-log plumbing
-// ---------------------------------------------------------------------------
-
-uint32_t PacTree::WriterSlot() {
-  // Per-(thread, tree) slot assignment via the thread's context. Stored as
-  // slot+1 so the zero-initialized word means "unassigned"; reduced modulo
-  // kMaxWriterSlots on every read because a stale word surviving this tree's
-  // address being recycled must still map to a valid slot.
-  uint64_t& w = ThreadContext::Current().InstanceWord(this);
-  if (w == 0) {
-    w = 1 + next_writer_slot_.fetch_add(1, std::memory_order_relaxed) %
-                kMaxWriterSlots;
-  }
-  return static_cast<uint32_t>((w - 1) % kMaxWriterSlots);
-}
-
-SmoLog* PacTree::WriterLog() { return logs_[WriterSlot()]; }
-
-SmoLogEntry* PacTree::LogSmo(uint32_t type, uint64_t node_raw, uint64_t other_raw,
-                             const Key& anchor, SmoLog** log_out) {
-  SmoLog* log = WriterLog();
-  // Writer slots can be shared by more threads than kMaxWriterSlots; appends
-  // to one ring are serialized by a tiny per-ring ticket embedded in tail's
-  // top bit-free range (in practice thread counts here are far below 64, so
-  // contention is nil; correctness is preserved by the CAS).
-  uint64_t pos;
-  while (true) {
-    pos = std::atomic_ref<uint64_t>(log->tail).load(std::memory_order_acquire);
-    uint64_t head = std::atomic_ref<uint64_t>(log->head).load(std::memory_order_acquire);
-    if (pos - head >= kSmoLogEntries) {
-      // Ring full: wait for the updater to drain (bounded by SMO rate).
-      CpuRelax();
-      std::this_thread::yield();
-      continue;
-    }
-    if (std::atomic_ref<uint64_t>(log->tail).compare_exchange_weak(
-            pos, pos + 1, std::memory_order_acq_rel)) {
-      break;
-    }
-  }
-  SmoLogEntry& e = log->At(pos);
-  // Published by PublishSmo once the data-layer work is durable. Atomic: the
-  // updater's ring scan may read seq of a just-claimed slot concurrently (it
-  // sees 0 either way and skips, but the access itself must be a non-racy).
-  std::atomic_ref<uint64_t>(e.seq).store(0, std::memory_order_relaxed);
-  e.applied = 0;
-  e.node_raw = node_raw;
-  e.other_raw = other_raw;
-  e.anchor = anchor;
-  std::atomic_ref<uint32_t>(e.type).store(type, std::memory_order_release);
-  // Checksum last (it covers type): the whole entry becomes durable in one
-  // fence, and any torn subset of its lines fails validation at recovery.
-  e.checksum = SmoEntryChecksum(e);
-  PersistFence(&e, sizeof(e));
-  PersistFence(&log->tail, sizeof(log->tail));
-  if (log_out != nullptr) {
-    *log_out = log;
-  }
-  return &e;
-}
-
-void PacTree::PublishSmo(SmoLogEntry* e) {
-  // The updater (and any same-anchor successor SMO) may act on this entry only
-  // once the data layer reflects it; the seq store is that publication point.
-  uint64_t seq = smo_seq_.fetch_add(1, std::memory_order_relaxed);
-  std::atomic_ref<uint64_t>(e->seq).store(seq, std::memory_order_release);
-  PersistFence(&e->seq, sizeof(e->seq));
-}
-
-// ---------------------------------------------------------------------------
-// Search-layer synchronization (the updater)
-// ---------------------------------------------------------------------------
-
-void PacTree::ApplySmo(SmoLogEntry* e) {
-  if (e->type == kSmoTypeSplit) {
-    art_->Insert(e->anchor, e->other_raw);
-    e->applied = 1;
-    PersistFence(&e->applied, sizeof(e->applied));
-    stat_applied_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  // Merge: remove the anchor, then free the victim after two epochs (§5.6).
-  art_->Remove(e->anchor);
-  e->applied = 1;
-  PersistFence(&e->applied, sizeof(e->applied));
-  stat_applied_.fetch_add(1, std::memory_order_relaxed);
-  EpochManager::Instance().Retire(PPtr<void>(e->other_raw));
-}
-
-size_t PacTree::UpdaterPass() {
-  struct Item {
-    uint64_t seq;
-    SmoLogEntry* e;
-  };
-  std::vector<Item> items;
-  for (size_t s = 0; s < kMaxWriterSlots; ++s) {
-    SmoLog* log = logs_[s];
-    uint64_t head = std::atomic_ref<uint64_t>(log->head).load(std::memory_order_acquire);
-    uint64_t tail = std::atomic_ref<uint64_t>(log->tail).load(std::memory_order_acquire);
-    for (uint64_t i = head; i < tail && i < head + kSmoLogEntries; ++i) {
-      SmoLogEntry& e = log->At(i);
-      uint64_t seq = std::atomic_ref<uint64_t>(e.seq).load(std::memory_order_acquire);
-      if (seq == 0) {
-        break;  // writer claimed but not yet published; later entries wait
-      }
-      if (!e.applied) {
-        items.push_back({seq, &e});
-      }
-    }
-  }
-  std::sort(items.begin(), items.end(),
-            [](const Item& a, const Item& b) { return a.seq < b.seq; });
-  size_t applied = 0;
-  for (const Item& it : items) {
-    // Same-anchor SMOs must apply in causal order even if the ring snapshot
-    // missed an earlier entry: a merge waits until its anchor is present (its
-    // split applied); a split re-creating an anchor waits until the prior
-    // merge removed it. Different anchors commute.
-    uint64_t probe;
-    bool present = art_->Lookup(it.e->anchor, &probe) == Status::kOk;
-    if (it.e->type == kSmoTypeMerge ? !present : present) {
-      break;  // defer the rest of this pass to preserve seq order
-    }
-    ApplySmo(it.e);
-    applied++;
-  }
-  AdvanceLogHeads();
-  return applied;
-}
-
-void PacTree::AdvanceLogHeads() {
-  // Advance ring heads past contiguously-applied entries.
-  for (size_t s = 0; s < kMaxWriterSlots; ++s) {
-    SmoLog* log = logs_[s];
-    uint64_t head = std::atomic_ref<uint64_t>(log->head).load(std::memory_order_acquire);
-    uint64_t tail = std::atomic_ref<uint64_t>(log->tail).load(std::memory_order_acquire);
-    uint64_t new_head = head;
-    while (new_head < tail) {
-      SmoLogEntry& e = log->At(new_head);
-      if (std::atomic_ref<uint64_t>(e.seq).load(std::memory_order_acquire) == 0 ||
-          !e.applied) {
-        break;
-      }
-      e.seq = 0;
-      e.applied = 0;
-      e.node_raw = 0;
-      e.other_raw = 0;
-      e.checksum = 0;
-      std::atomic_ref<uint32_t>(e.type).store(0, std::memory_order_release);
-      // Everything a recycled slot could leak into a torn future entry --
-      // payload and checksum -- is durably cleared in one line flush.
-      PersistRange(&e.seq, 5 * sizeof(uint64_t));
-      new_head++;
-    }
-    if (new_head != head) {
-      Fence();
-      std::atomic_ref<uint64_t>(log->head).store(new_head, std::memory_order_release);
-      PersistFence(&log->head, sizeof(log->head));
-    }
-  }
-}
-
-void PacTree::UpdaterLoop() {
-  // Exponential idle backoff: a hot updater drains SMOs within ~100 us, but an
-  // idle one must not keep waking up and preempting worker threads (pure-read
-  // phases would otherwise pay a context switch per wakeup).
-  uint64_t idle_us = 100;
-  while (!stop_updater_.load(std::memory_order_acquire)) {
-    size_t n = UpdaterPass();
-    EpochManager::Instance().TryAdvanceAndReclaim();
-    if (n == 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(idle_us));
-      idle_us = std::min<uint64_t>(idle_us * 2, 20000);
-    } else {
-      idle_us = 100;
-    }
-  }
-}
-
-bool PacTree::SmoLogsDrained() const {
-  for (size_t s = 0; s < kMaxWriterSlots; ++s) {
-    SmoLog* log = logs_[s];
-    if (log == nullptr) {
-      continue;
-    }
-    if (std::atomic_ref<uint64_t>(log->head).load(std::memory_order_acquire) !=
-        std::atomic_ref<uint64_t>(log->tail).load(std::memory_order_acquire)) {
-      return false;
-    }
-    for (size_t i = 0; i < kSmoLogEntries; ++i) {
-      if (log->entries[i].type != 0) {
-        return false;
-      }
-    }
-  }
-  return true;
-}
-
-void PacTree::DrainSmoLogs() {
-  while (true) {
-    bool empty = true;
-    for (size_t s = 0; s < kMaxWriterSlots && empty; ++s) {
-      SmoLog* log = logs_[s];
-      if (log == nullptr) {
-        continue;
-      }
-      uint64_t head = std::atomic_ref<uint64_t>(log->head).load(std::memory_order_acquire);
-      uint64_t tail = std::atomic_ref<uint64_t>(log->tail).load(std::memory_order_acquire);
-      if (head != tail) {
-        empty = false;
-      }
-    }
-    if (empty) {
-      return;
-    }
-    if (!updater_.joinable()) {
-      UpdaterPass();
-      EpochManager::Instance().TryAdvanceAndReclaim();
-    } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
-    }
-  }
-}
+bool PacTree::SmoLogsDrained() const { return updater_->Drained(); }
 
 // ---------------------------------------------------------------------------
 // Data-layer navigation (jump-node fix-up, §5.3)
@@ -779,7 +386,7 @@ DataNode* PacTree::SplitLocked(DataNode* node, const Key& key) {
   // (1) Log the split; the new node is allocated straight into the log entry's
   // placeholder, so a crash can never leak it (§5.6).
   SmoLogEntry* e =
-      LogSmo(kSmoTypeSplit, ToPPtr(node).Cast<void>().raw, 0, split_anchor, nullptr);
+      updater_->Log(kSmoTypeSplit, ToPPtr(node).Cast<void>().raw, 0, split_anchor);
   PPtr<void> new_block = data_heap_->AllocTo(ToPPtr(&e->other_raw), sizeof(DataNode));
   assert(!new_block.IsNull() && "data pool exhausted");
   // AllocTo filled other_raw after the entry's checksum was computed; re-seal
@@ -820,13 +427,13 @@ DataNode* PacTree::SplitLocked(DataNode* node, const Key& key) {
     old_right->StorePrevPersist(new_block.raw);
   }
   stat_splits_.fetch_add(1, std::memory_order_relaxed);
-  PublishSmo(e);
+  updater_->Publish(e);
 
-  // (4) Search layer: asynchronously via the updater, or inline in sync mode
-  // (the SL update sits on the critical path -- what Figure 12 ablates).
+  // (4) Search layer: asynchronously via the updater services, or inline in
+  // sync mode (the SL update sits on the critical path -- what Figure 12
+  // ablates).
   if (!opts_.async_search_update) {
-    ApplySmo(e);
-    AdvanceLogHeads();
+    updater_->ApplySync(e);
   }
 
   // Hand back the half that owns |key|, still locked; unlock the other half.
@@ -871,7 +478,7 @@ void PacTree::TryMergeLocked(DataNode* node) {
   uint64_t survivor_raw = ToPPtr(survivor).Cast<void>().raw;
   uint64_t victim_raw = ToPPtr(victim).Cast<void>().raw;
   SmoLogEntry* e =
-      LogSmo(kSmoTypeMerge, survivor_raw, victim_raw, victim->anchor, nullptr);
+      updater_->Log(kSmoTypeMerge, survivor_raw, victim_raw, victim->anchor);
 
   // Move the victim's live pairs into the survivor.
   uint64_t bm = victim->Bitmap();
@@ -898,11 +505,10 @@ void PacTree::TryMergeLocked(DataNode* node) {
   DataNode* locked_sibling = survivor == node ? victim : survivor;
   locked_sibling->lock.WriteUnlock();
   stat_merges_.fetch_add(1, std::memory_order_relaxed);
-  PublishSmo(e);
+  updater_->Publish(e);
 
   if (!opts_.async_search_update) {
-    ApplySmo(e);
-    AdvanceLogHeads();
+    updater_->ApplySync(e);
   }
 }
 
@@ -1044,7 +650,8 @@ PacTreeStats PacTree::Stats() const {
   PacTreeStats s;
   s.splits = stat_splits_.load(std::memory_order_relaxed);
   s.merges = stat_merges_.load(std::memory_order_relaxed);
-  s.smo_applied = stat_applied_.load(std::memory_order_relaxed);
+  s.smo_applied = updater_->applied();
+  s.smo_ring_full_waits = updater_->ring_full_waits();
   for (int i = 0; i < 4; ++i) {
     s.jump_hops[i] = stat_hops_[i].load(std::memory_order_relaxed);
   }

@@ -4,22 +4,25 @@
 // Architecture (paper §4): a *data layer* -- a doubly-linked list of 64-entry
 // slotted data nodes -- decoupled from a *search layer* -- a PDL-ART trie over
 // the data nodes' anchor keys. Splits and merges update only the data layer on
-// the critical path; a persistent SMO log plus a background updater thread
-// synchronize the search layer asynchronously. Readers that arrive through a
-// stale search layer land on a "jump node" and walk the data layer's sibling
-// pointers to the target (ephemeral-inconsistency-tolerant design, §4.3).
+// the critical path; a persistent SMO log plus per-NUMA background updater
+// services (src/pactree/updater.h) synchronize the search layer
+// asynchronously. Readers that arrive through a stale search layer land on a
+// "jump node" and walk the data layer's sibling pointers to the target
+// (ephemeral-inconsistency-tolerant design, §4.3).
 //
 // Guarantees: durable linearizability (an acknowledged write is durable; a read
 // never returns an unpersisted write), crash consistency without logging for
 // common-case writes (bitmap = linearization + durability pivot), leak-free
 // allocation, near-instant recovery (both layers live on NVM).
+//
+// This file is the operation front-end; SMO replay lives in updater.{h,cc} and
+// crash recovery in recovery.cc.
 #ifndef PACTREE_SRC_PACTREE_PACTREE_H_
 #define PACTREE_SRC_PACTREE_PACTREE_H_
 
 #include <atomic>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "src/art/art.h"
@@ -27,6 +30,7 @@
 #include "src/common/status.h"
 #include "src/pactree/data_node.h"
 #include "src/pactree/smo_log.h"
+#include "src/pactree/updater.h"
 #include "src/pmem/heap.h"
 
 namespace pactree {
@@ -44,12 +48,22 @@ struct PacTreeOptions {
   bool dram_search_layer = false;    // on  -> trie in DRAM (rebuilt-free: ART
                                      //        is rebuilt from SMO-na... kept
                                      //        volatile; recovery rebuilds it)
+
+  // Background updater services (async mode). 0 = auto: PAC_UPDATERS env var
+  // if set, else one per logical NUMA node. Clamped to [1, kMaxWriterSlots].
+  uint32_t updater_count = 0;
+  // Effective ring capacity (<= kSmoLogEntries); tests shrink it to exercise
+  // writer-side backpressure without logging thousands of SMOs.
+  size_t smo_ring_capacity = kSmoLogEntries;
 };
 
 struct PacTreeStats {
   uint64_t splits = 0;
   uint64_t merges = 0;
   uint64_t smo_applied = 0;
+  // Writer-side ring-full stalls: one count per backpressure retry while an
+  // SMO append waited for the updater to drain its ring.
+  uint64_t smo_ring_full_waits = 0;
   // Jump-node distance distribution (§6.7): how many sibling hops a lookup
   // needed after the search-layer traversal.
   uint64_t jump_hops[4] = {0, 0, 0, 0};  // 0, 1, 2, >=3
@@ -81,12 +95,20 @@ class PacTree {
   size_t Scan(const Key& start, size_t count,
               std::vector<std::pair<Key, uint64_t>>* out) const;
 
-  // Blocks until every logged SMO has been applied to the search layer.
+  // Blocks until every logged SMO has been applied to the search layer
+  // (CV drain barrier against the updater services; inline replay when they
+  // are paused, stopped, or absent in sync mode).
   void DrainSmoLogs();
 
   PacTreeStats Stats() const;
   const PacTreeOptions& options() const { return opts_; }
   PdlArt* search_layer() { return art_.get(); }
+  // The SMO replay subsystem and its registered background services (empty in
+  // sync mode). Tests and benches read per-service MaintenanceStats here.
+  SmoUpdater* updater() const { return updater_.get(); }
+  const std::vector<BackgroundService*>& UpdaterServices() const {
+    return updater_->services();
+  }
   // Backing heaps (crash tests shadow their pools).
   PmemHeap* search_heap() const { return search_heap_.get(); }
   PmemHeap* data_heap() const { return data_heap_.get(); }
@@ -109,6 +131,7 @@ class PacTree {
   PacTree() = default;
 
   bool Init(const PacTreeOptions& opts);
+  // Crash recovery (recovery.cc); runs in Init before services start.
   void Recover();
   void RecoverSplit(SmoLogEntry* e);
   void RecoverMerge(SmoLogEntry* e);
@@ -116,12 +139,6 @@ class PacTree {
   // Finds the data node owning |key|: search-layer floor + sibling fix-up.
   // Returns the node with a validated read token.
   DataNode* FindDataNode(const Key& key, uint64_t* version) const;
-
-  // Appends an SMO record; returns the persisted entry (still pending).
-  SmoLogEntry* LogSmo(uint32_t type, uint64_t node_raw, uint64_t other_raw,
-                      const Key& anchor, SmoLog** log_out);
-  // Publishes the entry's sequence number after its data-layer work is done.
-  void PublishSmo(SmoLogEntry* e);
 
   // Splits |node| (write-locked, full). Returns the node that now owns |key|
   // (still write-locked; the other half is unlocked).
@@ -131,17 +148,6 @@ class PacTree {
   // write-locked; takes/releases |right|'s lock internally.
   void TryMergeLocked(DataNode* node);
 
-  // Applies one SMO entry to the search layer (updater thread or sync mode).
-  void ApplySmo(SmoLogEntry* e);
-  // One updater round; returns the number of entries applied.
-  size_t UpdaterPass();
-  // Retires contiguously-applied ring entries and advances head pointers.
-  void AdvanceLogHeads();
-  void UpdaterLoop();
-
-  SmoLog* WriterLog();
-  uint32_t WriterSlot();
-
   void MaintainPermutation(DataNode* node);  // !selective_persistence mode
 
   PacTreeOptions opts_;
@@ -150,17 +156,12 @@ class PacTree {
   std::unique_ptr<PmemHeap> log_heap_;
   std::unique_ptr<PdlArt> art_;
   PacRoot* root_ = nullptr;
-  SmoLog* logs_[kMaxWriterSlots] = {};
-  std::atomic<uint32_t> next_writer_slot_{0};
-  std::atomic<uint64_t> smo_seq_{1};
+  // SMO logging + replay: rings, writer-slot routing, backpressure, and the
+  // per-NUMA updater services.
+  std::unique_ptr<SmoUpdater> updater_;
 
-  std::thread updater_;
-  std::atomic<bool> stop_updater_{false};
-
-  mutable PacTreeStats stats_;
   mutable std::atomic<uint64_t> stat_splits_{0};
   mutable std::atomic<uint64_t> stat_merges_{0};
-  mutable std::atomic<uint64_t> stat_applied_{0};
   mutable std::atomic<uint64_t> stat_hops_[4] = {};
   mutable std::atomic<uint64_t> stat_retries_{0};
 };

@@ -1,0 +1,304 @@
+#include "src/pactree/updater.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/art/art.h"
+#include "src/common/compiler.h"
+#include "src/nvm/config.h"
+#include "src/nvm/persist.h"
+#include "src/nvm/topology.h"
+#include "src/runtime/maintenance.h"
+#include "src/runtime/thread_context.h"
+#include "src/sync/epoch.h"
+
+namespace pactree {
+
+SmoUpdater::SmoUpdater(Options opts, PdlArt* art)
+    : opts_(std::move(opts)), art_(art) {
+  opts_.shards = std::max<uint32_t>(
+      1, std::min<uint32_t>(opts_.shards, kMaxWriterSlots));
+  opts_.ring_capacity =
+      std::max<size_t>(1, std::min<size_t>(opts_.ring_capacity, kSmoLogEntries));
+  next_slot_ = std::make_unique<std::atomic<uint32_t>[]>(opts_.shards);
+  for (uint32_t i = 0; i < opts_.shards; ++i) {
+    next_slot_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+SmoUpdater::~SmoUpdater() { StopServices(); }
+
+void SmoUpdater::StartServices() {
+  if (!opts_.async || !services_.empty()) {
+    return;
+  }
+  uint32_t nodes = std::max<uint32_t>(1, GlobalNvmConfig().numa_nodes);
+  for (uint32_t u = 0; u < opts_.shards; ++u) {
+    uint32_t node = u % nodes;
+    BackgroundService::Options o;
+    o.name = opts_.name + "/updater" + std::to_string(u);
+    o.numa_node = static_cast<int>(node);
+    // Route placement through the topology layer so config clamping (and the
+    // media model's remote-access accounting) sees the assignment.
+    o.thread_init = [node] { SetCurrentNumaNode(node); };
+    services_.push_back(
+        MaintenanceRegistry::Instance().Register(std::move(o), [this, u] {
+          return Pass(u);
+        }));
+  }
+}
+
+void SmoUpdater::StopServices() {
+  for (BackgroundService* s : services_) {
+    MaintenanceRegistry::Instance().Unregister(s);
+  }
+  services_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Writer side
+// ---------------------------------------------------------------------------
+
+uint32_t SmoUpdater::WriterSlot() {
+  // Per-(thread, tree) slot assignment via the thread's context, routed to the
+  // shard owning the thread's logical NUMA node so this node's updater service
+  // replays this thread's SMOs. Stored as slot+1 so the zero-initialized word
+  // means "unassigned"; reduced modulo kMaxWriterSlots on every read because a
+  // stale word surviving this updater's address being recycled must still map
+  // to a valid slot (it is a routing hint, never a correctness input).
+  uint64_t& w = ThreadContext::Current().InstanceWord(this);
+  if (w == 0) {
+    uint32_t shard = CurrentNumaNode() % opts_.shards;
+    uint32_t per_shard = kMaxWriterSlots / opts_.shards;
+    uint32_t k =
+        next_slot_[shard].fetch_add(1, std::memory_order_relaxed) % per_shard;
+    w = 1 + shard + k * opts_.shards;
+  }
+  return static_cast<uint32_t>((w - 1) % kMaxWriterSlots);
+}
+
+SmoLogEntry* SmoUpdater::Log(uint32_t type, uint64_t node_raw, uint64_t other_raw,
+                             const Key& anchor) {
+  uint32_t slot = WriterSlot();
+  SmoLog* log = logs_[slot];
+  // Writer slots can be shared by more threads than kMaxWriterSlots; appends
+  // to one ring are serialized by the tail CAS.
+  uint64_t pos;
+  uint64_t backoff_us = 0;
+  while (true) {
+    pos = std::atomic_ref<uint64_t>(log->tail).load(std::memory_order_acquire);
+    uint64_t head = std::atomic_ref<uint64_t>(log->head).load(std::memory_order_acquire);
+    if (pos - head >= opts_.ring_capacity) {
+      // Ring full: account the stall, kick the owning updater out of idle
+      // backoff, and back off exponentially ourselves (bounded by SMO rate).
+      ring_full_waits_.fetch_add(1, std::memory_order_relaxed);
+      if (!services_.empty()) {
+        services_[slot % opts_.shards]->Notify();
+      }
+      if (backoff_us == 0) {
+        CpuRelax();
+        std::this_thread::yield();
+        backoff_us = 1;
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        backoff_us = std::min<uint64_t>(backoff_us * 2, 1000);
+      }
+      continue;
+    }
+    if (std::atomic_ref<uint64_t>(log->tail).compare_exchange_weak(
+            pos, pos + 1, std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+  SmoLogEntry& e = log->At(pos);
+  // Published by Publish once the data-layer work is durable. Atomic: the
+  // updater's ring scan may read seq of a just-claimed slot concurrently (it
+  // sees 0 either way and skips, but the access itself must be non-racy).
+  std::atomic_ref<uint64_t>(e.seq).store(0, std::memory_order_relaxed);
+  e.applied = 0;
+  e.node_raw = node_raw;
+  e.other_raw = other_raw;
+  e.anchor = anchor;
+  std::atomic_ref<uint32_t>(e.type).store(type, std::memory_order_release);
+  // Checksum last (it covers type): the whole entry becomes durable in one
+  // fence, and any torn subset of its lines fails validation at recovery.
+  e.checksum = SmoEntryChecksum(e);
+  PersistFence(&e, sizeof(e));
+  PersistFence(&log->tail, sizeof(log->tail));
+  return &e;
+}
+
+void SmoUpdater::Publish(SmoLogEntry* e) {
+  // The updater (and any same-anchor successor SMO) may act on this entry only
+  // once the data layer reflects it; the seq store is that publication point.
+  uint64_t seq = smo_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_ref<uint64_t>(e->seq).store(seq, std::memory_order_release);
+  PersistFence(&e->seq, sizeof(e->seq));
+}
+
+void SmoUpdater::ApplySync(SmoLogEntry* e) {
+  Apply(e);
+  AdvanceHeads(WriterSlot() % opts_.shards);
+}
+
+// ---------------------------------------------------------------------------
+// Replay side
+// ---------------------------------------------------------------------------
+
+void SmoUpdater::Apply(SmoLogEntry* e) {
+  if (e->type == kSmoTypeSplit) {
+    art_->Insert(e->anchor, e->other_raw);
+    e->applied = 1;
+    PersistFence(&e->applied, sizeof(e->applied));
+    applied_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Merge: remove the anchor, then free the victim after two epochs (§5.6).
+  art_->Remove(e->anchor);
+  e->applied = 1;
+  PersistFence(&e->applied, sizeof(e->applied));
+  applied_.fetch_add(1, std::memory_order_relaxed);
+  EpochManager::Instance().Retire(PPtr<void>(e->other_raw));
+}
+
+size_t SmoUpdater::Pass(uint32_t shard) {
+  struct Item {
+    uint64_t seq;
+    SmoLogEntry* e;
+  };
+  std::vector<Item> items;
+  for (size_t s = shard; s < kMaxWriterSlots; s += opts_.shards) {
+    SmoLog* log = logs_[s];
+    if (log == nullptr) {
+      continue;
+    }
+    uint64_t head = std::atomic_ref<uint64_t>(log->head).load(std::memory_order_acquire);
+    uint64_t tail = std::atomic_ref<uint64_t>(log->tail).load(std::memory_order_acquire);
+    for (uint64_t i = head; i < tail && i < head + kSmoLogEntries; ++i) {
+      SmoLogEntry& e = log->At(i);
+      uint64_t seq = std::atomic_ref<uint64_t>(e.seq).load(std::memory_order_acquire);
+      if (seq == 0) {
+        break;  // writer claimed but not yet published; later entries wait
+      }
+      if (!e.applied) {
+        items.push_back({seq, &e});
+      }
+    }
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.seq < b.seq; });
+  size_t applied = 0;
+  for (const Item& it : items) {
+    // Same-anchor SMOs must apply in causal order even if they live in another
+    // shard's rings or this pass's snapshot missed an earlier entry: a merge
+    // waits until its anchor is present (its split applied); a split
+    // re-creating an anchor waits until the prior merge removed it. Different
+    // anchors commute (see the ordering argument in the header).
+    uint64_t probe;
+    bool present = art_->Lookup(it.e->anchor, &probe) == Status::kOk;
+    if (it.e->type == kSmoTypeMerge ? !present : present) {
+      break;  // defer the rest of this pass to preserve seq order in-shard
+    }
+    Apply(it.e);
+    applied++;
+  }
+  AdvanceHeads(shard);
+  return applied;
+}
+
+void SmoUpdater::AdvanceHeads(uint32_t shard) {
+  // Advance ring heads past contiguously-applied entries.
+  for (size_t s = shard; s < kMaxWriterSlots; s += opts_.shards) {
+    SmoLog* log = logs_[s];
+    if (log == nullptr) {
+      continue;
+    }
+    uint64_t head = std::atomic_ref<uint64_t>(log->head).load(std::memory_order_acquire);
+    uint64_t tail = std::atomic_ref<uint64_t>(log->tail).load(std::memory_order_acquire);
+    uint64_t new_head = head;
+    while (new_head < tail) {
+      SmoLogEntry& e = log->At(new_head);
+      if (std::atomic_ref<uint64_t>(e.seq).load(std::memory_order_acquire) == 0 ||
+          !e.applied) {
+        break;
+      }
+      e.seq = 0;
+      e.applied = 0;
+      e.node_raw = 0;
+      e.other_raw = 0;
+      e.checksum = 0;
+      std::atomic_ref<uint32_t>(e.type).store(0, std::memory_order_release);
+      // Everything a recycled slot could leak into a torn future entry --
+      // payload and checksum -- is durably cleared in one line flush.
+      PersistRange(&e.seq, 5 * sizeof(uint64_t));
+      new_head++;
+    }
+    if (new_head != head) {
+      Fence();
+      std::atomic_ref<uint64_t>(log->head).store(new_head, std::memory_order_release);
+      PersistFence(&log->head, sizeof(log->head));
+    }
+  }
+}
+
+bool SmoUpdater::ShardDrained(uint32_t shard) const {
+  for (size_t s = shard; s < kMaxWriterSlots; s += opts_.shards) {
+    SmoLog* log = logs_[s];
+    if (log == nullptr) {
+      continue;
+    }
+    if (std::atomic_ref<uint64_t>(log->head).load(std::memory_order_acquire) !=
+        std::atomic_ref<uint64_t>(log->tail).load(std::memory_order_acquire)) {
+      return false;
+    }
+    for (size_t i = 0; i < kSmoLogEntries; ++i) {
+      if (std::atomic_ref<uint32_t>(log->entries[i].type)
+              .load(std::memory_order_acquire) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool SmoUpdater::Drained() const {
+  for (uint32_t u = 0; u < opts_.shards; ++u) {
+    if (!ShardDrained(u)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SmoUpdater::Drain() {
+  bool all_live = !services_.empty();
+  for (BackgroundService* s : services_) {
+    all_live = all_live && s->running() && !s->paused();
+  }
+  if (all_live) {
+    // CV drain barrier per shard: each service keeps passing (short cadence)
+    // while its drainer waits; peers replay concurrently, so cross-shard
+    // anchor deferrals resolve without any caller-side polling.
+    for (uint32_t u = 0; u < opts_.shards; ++u) {
+      services_[u]->Drain([this, u] { return ShardDrained(u); });
+    }
+    return;
+  }
+  // Synchronous path (async_search_update=false, paused services, shutdown):
+  // the caller replays every shard itself. All shards advance together --
+  // a deferred merge in one shard may wait on a split in another.
+  while (!Drained()) {
+    for (uint32_t u = 0; u < opts_.shards; ++u) {
+      if (u < services_.size()) {
+        services_[u]->RunPassInline();  // mutually exclusive with the worker
+      } else {
+        Pass(u);
+      }
+    }
+    EpochManager::Instance().TryAdvanceAndReclaim();
+  }
+}
+
+}  // namespace pactree

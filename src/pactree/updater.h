@@ -1,0 +1,131 @@
+// SMO-log replay subsystem: writer-slot routing, ring backpressure, and the
+// per-NUMA background updater services (paper §4.3, §5.6).
+//
+// PACTree keeps trie updates off the critical path: a split/merge persists an
+// SMO-log entry, mutates only the data layer, and publishes a global sequence
+// number; background *updater* services later replay the entries into the
+// search layer. This class owns everything on that path -- the kMaxWriterSlots
+// persistent rings, the global sequence counter, the per-(thread, tree) writer
+// slot assignment, the writer-side ring-full backpressure, and the N updater
+// services registered with the MaintenanceRegistry (default: one per logical
+// NUMA node).
+//
+// Sharded replay and ordering (§4.3): ring s belongs to shard s mod N, and a
+// writer on logical node n appends only to rings of shard n mod N, so each
+// node's SMO traffic is replayed by that node's updater. The global-order
+// guarantee is preserved per anchor, which is all readers can observe:
+//   * within one ring, entries replay in published-seq order (a pass stops at
+//     the first unpublished entry);
+//   * across the rings of one shard, a pass merges entries by seq;
+//   * across shards, only same-anchor SMOs need ordering, and the apply loop
+//     enforces it causally: a merge of anchor A defers until A is present in
+//     the trie (its creating split applied), and a split re-creating A defers
+//     until the prior merge removed it. Different-anchor SMOs commute -- trie
+//     inserts/removes of distinct anchors are independent, and a reader that
+//     arrives through a not-yet-applied anchor walks the data layer's sibling
+//     pointers to the target (the jump-node mechanism, §5.3).
+// Deferral keeps seq order *within* the shard: the rest of the pass is
+// postponed, and the worker retries on its next pass (short cadence while a
+// drain is pending).
+#ifndef PACTREE_SRC_PACTREE_UPDATER_H_
+#define PACTREE_SRC_PACTREE_UPDATER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/key.h"
+#include "src/pactree/smo_log.h"
+
+namespace pactree {
+
+class BackgroundService;
+class PdlArt;
+
+class SmoUpdater {
+ public:
+  struct Options {
+    std::string name = "pactree";  // service-name prefix: "<name>/updater<i>"
+    uint32_t shards = 1;           // updater count; rings partition s mod shards
+    size_t ring_capacity = kSmoLogEntries;  // tests shrink to force backpressure
+    bool async = true;  // false: no services; SMOs are applied inline by writers
+  };
+
+  SmoUpdater(Options opts, PdlArt* art);
+  ~SmoUpdater();  // stops services
+
+  SmoUpdater(const SmoUpdater&) = delete;
+  SmoUpdater& operator=(const SmoUpdater&) = delete;
+
+  // Ring plumbing (set by PacTree::Init after the log heap maps, read by
+  // recovery before services start).
+  void AttachLog(size_t slot, SmoLog* log) { logs_[slot] = log; }
+  SmoLog* log(size_t slot) const { return logs_[slot]; }
+  uint32_t shards() const { return opts_.shards; }
+
+  // Recovery publishes the next sequence number after scanning all rings.
+  void SetNextSeq(uint64_t seq) { smo_seq_.store(seq, std::memory_order_relaxed); }
+
+  // Registers the per-shard updater services (async mode only; no-op
+  // otherwise). Call once, after recovery has reset the rings.
+  void StartServices();
+  // Stops and unregisters every service. Idempotent.
+  void StopServices();
+  const std::vector<BackgroundService*>& services() const { return services_; }
+
+  // --- writer side ---------------------------------------------------------
+
+  // Appends a pending SMO record to the calling thread's ring and persists it.
+  // Blocks with exponential backoff (and counts a ring-full wait per retry)
+  // while the ring is full, kicking the owning updater service each time.
+  SmoLogEntry* Log(uint32_t type, uint64_t node_raw, uint64_t other_raw,
+                   const Key& anchor);
+  // Publishes the entry's sequence number once its data-layer work is durable.
+  void Publish(SmoLogEntry* e);
+  // Synchronous-mode path: applies |e| to the search layer on the calling
+  // thread and retires the writer's ring entries.
+  void ApplySync(SmoLogEntry* e);
+
+  // --- replay side ---------------------------------------------------------
+
+  // One replay round over shard |shard|'s rings; returns entries applied.
+  size_t Pass(uint32_t shard);
+
+  // Blocks until every ring is drained. Live services: CV drain barrier per
+  // shard. Any service stopped/paused (or sync mode): the caller runs passes
+  // over *all* shards inline -- cross-shard anchor deferral means one shard's
+  // progress can require another's.
+  void Drain();
+  bool Drained() const;
+  bool ShardDrained(uint32_t shard) const;
+
+  uint64_t applied() const { return applied_.load(std::memory_order_relaxed); }
+  uint64_t ring_full_waits() const {
+    return ring_full_waits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Per-(thread, tree) ring assignment, routed to the thread's NUMA shard.
+  uint32_t WriterSlot();
+  // Applies one entry to the search layer and marks it applied.
+  void Apply(SmoLogEntry* e);
+  // Retires contiguously-applied entries and advances ring heads (shard only).
+  void AdvanceHeads(uint32_t shard);
+
+  Options opts_;
+  PdlArt* art_;
+  SmoLog* logs_[kMaxWriterSlots] = {};
+  std::atomic<uint64_t> smo_seq_{1};
+  // Round-robin cursor per shard for assigning writer slots within the shard.
+  std::unique_ptr<std::atomic<uint32_t>[]> next_slot_;
+  std::vector<BackgroundService*> services_;
+
+  std::atomic<uint64_t> applied_{0};
+  std::atomic<uint64_t> ring_full_waits_{0};
+};
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_PACTREE_UPDATER_H_

@@ -1,0 +1,265 @@
+#include "src/runtime/maintenance.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/clock.h"
+#include "src/runtime/thread_context.h"
+
+namespace pactree {
+
+BackgroundService::BackgroundService(Options opts, PassFn pass)
+    : opts_(std::move(opts)), pass_(std::move(pass)) {
+  if (opts_.idle_min_us == 0) {
+    opts_.idle_min_us = 1;
+  }
+  if (opts_.idle_max_us < opts_.idle_min_us) {
+    opts_.idle_max_us = opts_.idle_min_us;
+  }
+}
+
+BackgroundService::~BackgroundService() { Stop(); }
+
+void BackgroundService::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    return;
+  }
+  stop_ = false;
+  paused_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { WorkerLoop(); });
+}
+
+void BackgroundService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) {
+      return;
+    }
+    stop_ = true;
+    kicks_++;
+  }
+  cv_worker_.notify_all();
+  cv_pass_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+  stop_ = false;
+}
+
+void BackgroundService::Pause() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (paused_) {
+    return;
+  }
+  paused_ = true;
+  kicks_++;
+  cv_worker_.notify_all();
+  // Barrier: the worker sets pass_in_flight_ under mu_ before running a pass
+  // and clears it after, so once this wait returns no pass is executing and
+  // none will start (paused_ is already visible to the worker).
+  cv_pass_.wait(lock, [&] { return !pass_in_flight_; });
+}
+
+void BackgroundService::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!paused_) {
+      return;
+    }
+    paused_ = false;
+    kicks_++;
+  }
+  cv_worker_.notify_all();
+}
+
+void BackgroundService::Notify() {
+  st_notifies_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    kicks_++;
+  }
+  cv_worker_.notify_all();
+}
+
+size_t BackgroundService::ExecutePass() {
+  std::lock_guard<std::mutex> guard(pass_mu_);
+  uint64_t t0 = NowNs();
+  size_t n = pass_();
+  st_passes_.fetch_add(1, std::memory_order_relaxed);
+  if (n > 0) {
+    st_items_.fetch_add(n, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> hl(hist_mu_);
+    pass_latency_.Record(NowNs() - t0);
+  }
+  return n;
+}
+
+size_t BackgroundService::RunPassInline() { return ExecutePass(); }
+
+void BackgroundService::WorkerLoop() {
+  if (opts_.thread_init) {
+    opts_.thread_init();
+  } else if (opts_.numa_node >= 0) {
+    ThreadContext::Current().AssignNumaNode(static_cast<uint32_t>(opts_.numa_node));
+  }
+  uint64_t idle_us = opts_.idle_min_us;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (paused_) {
+      cv_pass_.notify_all();  // release any Pause() barrier waiter
+      cv_worker_.wait(lock, [&] { return stop_ || !paused_; });
+      continue;
+    }
+    uint64_t kicks_seen = kicks_;
+    pass_in_flight_ = true;
+    lock.unlock();
+    size_t n = ExecutePass();
+    lock.lock();
+    pass_in_flight_ = false;
+    pass_gen_++;
+    cv_pass_.notify_all();
+    if (n > 0) {
+      idle_us = opts_.idle_min_us;
+      continue;
+    }
+    if (drain_waiters_ > 0) {
+      // A drain is pending but this pass applied nothing -- completion may
+      // depend on a peer service's progress, so keep a short fixed cadence
+      // instead of backing off (a kick breaks the wait immediately).
+      cv_worker_.wait_for(lock, std::chrono::microseconds(opts_.idle_min_us),
+                          [&] { return stop_ || paused_ || kicks_ != kicks_seen; });
+      continue;
+    }
+    st_idle_wakeups_.fetch_add(1, std::memory_order_relaxed);
+    cv_worker_.wait_for(lock, std::chrono::microseconds(idle_us), [&] {
+      return stop_ || paused_ || kicks_ != kicks_seen || drain_waiters_ > 0;
+    });
+    idle_us = std::min(idle_us * 2, opts_.idle_max_us);
+  }
+  cv_pass_.notify_all();
+}
+
+void BackgroundService::Drain(const std::function<bool()>& done) {
+  st_drains_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stop_ || !running_ || paused_) {
+      // Synchronous fallback: the caller becomes the maintenance thread.
+      lock.unlock();
+      while (!done()) {
+        ExecutePass();
+      }
+      return;
+    }
+    drain_waiters_++;
+    kicks_++;
+    cv_worker_.notify_all();
+    uint64_t gen = pass_gen_;
+    lock.unlock();
+    bool finished = done();
+    lock.lock();
+    if (finished) {
+      drain_waiters_--;
+      return;
+    }
+    // Wait for the next completed pass (or a lifecycle change), then re-check.
+    cv_pass_.wait(lock, [&] { return pass_gen_ != gen || stop_ || paused_; });
+    drain_waiters_--;
+  }
+}
+
+MaintenanceStats BackgroundService::Stats() const {
+  MaintenanceStats s;
+  s.name = opts_.name;
+  s.numa_node = opts_.numa_node;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.running = running_ && !stop_;
+    s.paused = paused_;
+  }
+  s.passes = st_passes_.load(std::memory_order_relaxed);
+  s.items = st_items_.load(std::memory_order_relaxed);
+  s.idle_wakeups = st_idle_wakeups_.load(std::memory_order_relaxed);
+  s.notifies = st_notifies_.load(std::memory_order_relaxed);
+  s.drains = st_drains_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> hl(hist_mu_);
+    s.pass_latency = pass_latency_;
+  }
+  return s;
+}
+
+bool BackgroundService::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_ && !stop_;
+}
+
+bool BackgroundService::paused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return paused_;
+}
+
+// ---------------------------------------------------------------------------
+// MaintenanceRegistry
+// ---------------------------------------------------------------------------
+
+MaintenanceRegistry& MaintenanceRegistry::Instance() {
+  // Leaked: services may be unregistered from static teardown paths.
+  static MaintenanceRegistry* registry = new MaintenanceRegistry();
+  return *registry;
+}
+
+BackgroundService* MaintenanceRegistry::Register(BackgroundService::Options opts,
+                                                 BackgroundService::PassFn pass) {
+  auto service = std::make_unique<BackgroundService>(std::move(opts), std::move(pass));
+  BackgroundService* raw = service.get();
+  raw->Start();
+  std::lock_guard<std::mutex> lock(mu_);
+  services_.push_back(std::move(service));
+  return raw;
+}
+
+void MaintenanceRegistry::Unregister(BackgroundService* service) {
+  std::unique_ptr<BackgroundService> owned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < services_.size(); ++i) {
+      if (services_[i].get() == service) {
+        owned = std::move(services_[i]);
+        services_.erase(services_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  // Stop (via the destructor) outside the registry lock: the worker's last
+  // pass may itself consult the registry.
+  owned.reset();
+}
+
+size_t MaintenanceRegistry::ServiceCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return services_.size();
+}
+
+void MaintenanceRegistry::ForEach(const std::function<void(BackgroundService&)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& s : services_) {
+    fn(*s);
+  }
+}
+
+std::vector<MaintenanceStats> MaintenanceRegistry::StatsSnapshot(
+    const std::string& prefix) const {
+  std::vector<MaintenanceStats> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& s : services_) {
+    if (prefix.empty() || s->name().rfind(prefix, 0) == 0) {
+      out.push_back(s->Stats());
+    }
+  }
+  return out;
+}
+
+}  // namespace pactree

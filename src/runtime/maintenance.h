@@ -1,0 +1,178 @@
+// Background-maintenance service runtime.
+//
+// Long-running index structures accumulate deferred work -- SMO-log replay,
+// epoch reclamation, and (in the future) heap defragmentation, batched-write
+// flushing, or shard rebalancing. This runtime makes that work a first-class,
+// observable subsystem instead of ad-hoc `std::thread` loops buried in each
+// index: a BackgroundService is a named worker with logical-NUMA-node
+// affinity, an explicit lifecycle (start/stop/pause/resume), a
+// condition-variable drain *barrier* (no caller-side polling), a shared
+// exponential idle-backoff policy, and per-service statistics (passes, items
+// applied, idle wakeups, and a per-pass apply-latency histogram). The
+// process-wide MaintenanceRegistry owns every service so harnesses can
+// enumerate and report them uniformly.
+//
+// A service's unit of execution is a *pass*: the registered callback performs
+// one bounded round of maintenance and returns how many items it applied.
+// Zero means "nothing to do" and triggers idle backoff; the worker doubles its
+// sleep up to idle_max_us, and any Notify() (e.g. a writer hitting ring-full
+// backpressure) wakes it immediately and resets the backoff.
+//
+// Thread model: exactly one worker thread runs passes while the service is
+// live. Drain() on a stopped or paused service executes passes *inline* on
+// the calling thread; a per-service pass mutex keeps worker and inline
+// execution mutually exclusive, so pass callbacks never run concurrently with
+// themselves. Pass callbacks may therefore assume single-threaded execution
+// per service but must tolerate running on different OS threads over time.
+//
+// This file lives in src/runtime/ because it is (with the worker-spawn helper
+// in workers.h) the only place in src/ allowed to construct std::thread --
+// enforced by the `thread_lint` ctest (cmake/check_no_raw_threads.cmake).
+#ifndef PACTREE_SRC_RUNTIME_MAINTENANCE_H_
+#define PACTREE_SRC_RUNTIME_MAINTENANCE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace pactree {
+
+// Snapshot of one service's counters, taken under the service's stats lock.
+struct MaintenanceStats {
+  std::string name;
+  int numa_node = -1;   // logical node the worker is pinned to; -1 = unpinned
+  bool running = false;
+  bool paused = false;
+  uint64_t passes = 0;        // pass invocations (worker + inline drain)
+  uint64_t items = 0;         // total items applied across passes
+  uint64_t idle_wakeups = 0;  // idle sleeps that expired with no new work
+  uint64_t notifies = 0;      // external Notify() kicks received
+  uint64_t drains = 0;        // drain barriers served
+  LatencyHistogram pass_latency;  // latency of passes that applied >= 1 item
+};
+
+class BackgroundService {
+ public:
+  struct Options {
+    std::string name = "service";
+    // Logical NUMA node for the worker thread; -1 leaves the thread unpinned.
+    // The node is applied through |thread_init| when provided (callers route
+    // it through src/nvm/topology so config clamping applies), else directly
+    // on the worker's ThreadContext.
+    int numa_node = -1;
+    uint64_t idle_min_us = 100;
+    uint64_t idle_max_us = 20000;
+    // Runs on the worker thread before its first pass (NUMA placement, CPU
+    // affinity). May be null.
+    std::function<void()> thread_init;
+  };
+
+  // One maintenance round; returns the number of items applied (0 = idle).
+  using PassFn = std::function<size_t()>;
+
+  BackgroundService(Options opts, PassFn pass);
+  ~BackgroundService();  // stops and joins the worker
+
+  BackgroundService(const BackgroundService&) = delete;
+  BackgroundService& operator=(const BackgroundService&) = delete;
+
+  void Start();
+  // Stops and joins the worker. Pending work stays pending (the backing log
+  // is the source of truth); a later Start() or inline Drain() picks it up.
+  void Stop();
+
+  // Pause is a barrier: when it returns, no pass is in flight and none will
+  // start until Resume(). Idempotent.
+  void Pause();
+  void Resume();
+
+  // Wakes the worker out of idle backoff (resets the backoff to idle_min_us).
+  void Notify();
+
+  // Blocks until |done| returns true, running passes as needed. On a live
+  // service this is a condition-variable barrier: the caller re-evaluates
+  // |done| after every completed pass, and the worker keeps a short cadence
+  // (idle_min_us) while drainers wait -- progress may depend on a *peer*
+  // service applying first, so the worker must not park. On a stopped or
+  // paused service the caller executes the passes inline instead.
+  void Drain(const std::function<bool()>& done);
+
+  // Executes one pass on the calling thread, mutually exclusive with the
+  // worker. For synchronous fallback paths.
+  size_t RunPassInline();
+
+  MaintenanceStats Stats() const;
+  const std::string& name() const { return opts_.name; }
+  int numa_node() const { return opts_.numa_node; }
+  bool running() const;
+  bool paused() const;
+
+ private:
+  void WorkerLoop();
+  size_t ExecutePass();
+
+  Options opts_;
+  PassFn pass_;
+  std::thread thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_worker_;  // wakes the worker: notify/resume/stop/drain
+  std::condition_variable cv_pass_;    // signals pass completion: drain barrier, pause barrier
+  bool running_ = false;
+  bool stop_ = false;
+  bool paused_ = false;
+  bool pass_in_flight_ = false;
+  uint64_t kicks_ = 0;     // bumped by Notify/Resume/Stop/Drain to break idle waits
+  uint64_t pass_gen_ = 0;  // completed-pass counter (drain barrier condition)
+  int drain_waiters_ = 0;
+
+  // Serializes pass execution between the worker and inline callers.
+  std::mutex pass_mu_;
+
+  std::atomic<uint64_t> st_passes_{0};
+  std::atomic<uint64_t> st_items_{0};
+  std::atomic<uint64_t> st_idle_wakeups_{0};
+  std::atomic<uint64_t> st_notifies_{0};
+  std::atomic<uint64_t> st_drains_{0};
+  mutable std::mutex hist_mu_;
+  LatencyHistogram pass_latency_;
+};
+
+// Process-wide directory of live background services. Owns the services;
+// Register starts the worker, Unregister stops and destroys it. Subsystems
+// keep the raw pointer for Notify/Pause/Drain while registered.
+class MaintenanceRegistry {
+ public:
+  static MaintenanceRegistry& Instance();
+
+  BackgroundService* Register(BackgroundService::Options opts,
+                              BackgroundService::PassFn pass);
+  void Unregister(BackgroundService* service);
+
+  size_t ServiceCount() const;
+  // Visits every registered service under the registry lock.
+  void ForEach(const std::function<void(BackgroundService&)>& fn);
+  // Stats for every service whose name starts with |prefix| ("" = all).
+  std::vector<MaintenanceStats> StatsSnapshot(const std::string& prefix = "") const;
+
+  MaintenanceRegistry(const MaintenanceRegistry&) = delete;
+  MaintenanceRegistry& operator=(const MaintenanceRegistry&) = delete;
+
+ private:
+  MaintenanceRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<BackgroundService>> services_;
+};
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_RUNTIME_MAINTENANCE_H_

@@ -1,0 +1,42 @@
+// Worker-thread spawn/join helper.
+//
+// Alongside BackgroundService (maintenance.h), this is the only place in src/
+// allowed to construct std::thread -- the `thread_lint` ctest
+// (cmake/check_no_raw_threads.cmake) rejects raw thread construction anywhere
+// else. Funneling thread creation through src/runtime/ keeps lifecycle
+// concerns (ThreadContext registration and teardown, NUMA placement) in one
+// layer instead of scattered across drivers.
+#ifndef PACTREE_SRC_RUNTIME_WORKERS_H_
+#define PACTREE_SRC_RUNTIME_WORKERS_H_
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace pactree {
+
+// Spawns |n| worker threads running body(index), then joins them all.
+// |after_spawn| (optional) runs on the calling thread once every worker has
+// been created -- drivers use it to release a start gate and stamp t0 so
+// thread-creation cost stays out of the measured window. Each worker's
+// ThreadContext is registered lazily on first use and torn down at thread
+// exit, exactly as with a hand-rolled std::thread.
+inline void RunWorkerThreads(uint32_t n, const std::function<void(uint32_t)>& body,
+                             const std::function<void()>& after_spawn = nullptr) {
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (uint32_t t = 0; t < n; ++t) {
+    threads.emplace_back([&body, t] { body(t); });
+  }
+  if (after_spawn) {
+    after_spawn();
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+}
+
+}  // namespace pactree
+
+#endif  // PACTREE_SRC_RUNTIME_WORKERS_H_

@@ -1,7 +1,10 @@
 #include "src/sync/epoch.h"
 
+#include <mutex>
+
 #include "src/common/compiler.h"
 #include "src/pmem/pool.h"
+#include "src/runtime/maintenance.h"
 #include "src/runtime/thread_context.h"
 
 namespace pactree {
@@ -99,7 +102,7 @@ size_t EpochManager::LiveRecordCount() const {
   return n;
 }
 
-void EpochManager::TryAdvanceAndReclaim() {
+size_t EpochManager::TryAdvanceAndReclaim() {
   uint64_t e = global_epoch_.load(std::memory_order_acquire);
   uint64_t min_active = MinActiveEpoch();
   if (min_active == ~uint64_t{0} || min_active >= e) {
@@ -113,11 +116,12 @@ void EpochManager::TryAdvanceAndReclaim() {
     reclaim_before = min_now;
   }
   if (reclaim_before >= 2) {
-    ReclaimUpTo(reclaim_before - 2);
+    return ReclaimUpTo(reclaim_before - 2);
   }
+  return 0;
 }
 
-void EpochManager::ReclaimUpTo(uint64_t epoch) {
+size_t EpochManager::ReclaimUpTo(uint64_t epoch) {
   std::vector<Retired> ready;
   {
     SpinGuard guard(retired_lock_);
@@ -140,11 +144,54 @@ void EpochManager::ReclaimUpTo(uint64_t epoch) {
     }
     retired_count_.fetch_sub(1, std::memory_order_relaxed);
   }
+  return ready.size();
 }
 
 void EpochManager::DrainAll() {
   global_epoch_.fetch_add(4, std::memory_order_acq_rel);
   ReclaimUpTo(~uint64_t{0});
+}
+
+// ---------------------------------------------------------------------------
+// EpochReclaimService
+// ---------------------------------------------------------------------------
+
+namespace {
+std::mutex g_reclaim_mu;
+int g_reclaim_refs = 0;
+BackgroundService* g_reclaim_service = nullptr;
+}  // namespace
+
+void EpochReclaimService::Acquire() {
+  std::lock_guard<std::mutex> lock(g_reclaim_mu);
+  if (g_reclaim_refs++ > 0) {
+    return;
+  }
+  BackgroundService::Options o;
+  o.name = "epoch/reclaim";
+  o.idle_min_us = 200;
+  o.idle_max_us = 20000;
+  g_reclaim_service = MaintenanceRegistry::Instance().Register(
+      std::move(o), [] { return EpochManager::Instance().TryAdvanceAndReclaim(); });
+}
+
+void EpochReclaimService::Release() {
+  BackgroundService* to_stop = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_reclaim_mu);
+    if (g_reclaim_refs == 0) {
+      return;
+    }
+    if (--g_reclaim_refs == 0) {
+      to_stop = g_reclaim_service;
+      g_reclaim_service = nullptr;
+    }
+  }
+  if (to_stop != nullptr) {
+    // Outside g_reclaim_mu: Unregister joins the worker, whose pass never
+    // touches this refcount but a re-Acquire must not deadlock behind it.
+    MaintenanceRegistry::Instance().Unregister(to_stop);
+  }
 }
 
 }  // namespace pactree

@@ -29,7 +29,9 @@ class EpochManager {
 
   // Attempts to advance the global epoch (succeeds when every active thread
   // has entered the current epoch) and reclaims anything two epochs old.
-  void TryAdvanceAndReclaim();
+  // Returns the number of blocks reclaimed (the maintenance service's
+  // items-applied metric).
+  size_t TryAdvanceAndReclaim();
 
   // Forces reclamation of everything; callers must guarantee no concurrent
   // guards (used at shutdown and between benchmark phases).
@@ -55,7 +57,7 @@ class EpochManager {
 
   EpochManager() = default;
   uint64_t MinActiveEpoch();
-  void ReclaimUpTo(uint64_t epoch);
+  size_t ReclaimUpTo(uint64_t epoch);
 
   std::atomic<uint64_t> global_epoch_{2};
   std::atomic<uint64_t> retired_count_{0};
@@ -64,6 +66,19 @@ class EpochManager {
   // op-rate, so contention is negligible).
   std::vector<Retired> retired_;
   std::atomic_flag retired_lock_ = ATOMIC_FLAG_INIT;
+};
+
+// Epoch reclamation as a maintenance service: a refcounted handle on a single
+// process-wide "epoch/reclaim" BackgroundService that periodically calls
+// TryAdvanceAndReclaim. Every async index acquires a reference on open and
+// releases it on close; the service exists while any reference is held.
+// Retire() deliberately does not kick the service (a kick would have to hold a
+// pointer a concurrent Release may destroy); reclamation latency is bounded by
+// the service's idle cadence, which is fine for SMO-rate retire volume.
+class EpochReclaimService {
+ public:
+  static void Acquire();
+  static void Release();
 };
 
 class EpochGuard {

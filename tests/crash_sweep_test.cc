@@ -100,8 +100,18 @@ class CrashSweepTest : public ::testing::Test {
     // land on the arming thread, making the event numbering deterministic.
     o.pactree_async_update = false;
     o.open_existing = open_existing;
+    if (open_existing && recover_updaters_ > 0) {
+      // Recovery-side override: bring the index back up with live per-shard
+      // updater services, proving recovery composes with multi-updater mode
+      // (recovery itself still runs single-threaded before services start).
+      o.pactree_async_update = true;
+      o.pactree_updaters = recover_updaters_;
+    }
     return CreateIndex(kind, o);
   }
+
+  // When nonzero, recovery-side opens run async with this many updaters.
+  uint32_t recover_updaters_ = 0;
 
   // Builds the trace's base state, arms the window, runs the operation,
   // captures the (possibly frozen) durable image, rebuilds the pool files and
@@ -250,6 +260,25 @@ TEST_F(CrashSweepTest, PacTreeMerge) {
     idx->Remove(Key::FromInt(210));
     exp->acked.erase(Key::FromInt(210));
     exp->inflight[Key::FromInt(210)] = 211;
+  };
+  SweepAllModes(IndexKind::kPacTree, sc);
+}
+
+TEST_F(CrashSweepTest, PacTreeSplitMultiUpdaterRecovery) {
+  // Same split trace as PacTreeSplit, but every post-crash open runs with two
+  // background updater services: the single-threaded recovery pass must hand
+  // the (reset) rings to the sharded replay path without losing the §4.3
+  // guarantees.
+  recover_updaters_ = 2;
+  SweepScenario sc;
+  sc.setup = [](RangeIndex* idx, RecoveryExpectation* exp) {
+    for (uint64_t i = 1; i <= 64; ++i) {
+      InsertAcked(idx, exp, i * 10, i * 10 + 1);
+    }
+  };
+  sc.window = [](RangeIndex* idx, RecoveryExpectation* exp) {
+    idx->Insert(Key::FromInt(645), 646);
+    exp->inflight[Key::FromInt(645)] = 646;
   };
   SweepAllModes(IndexKind::kPacTree, sc);
 }

@@ -47,13 +47,13 @@ TEST_F(NvmTest, AddressMapLookup) {
   std::string path = TestPath("nvm_test_map.pool");
   NvmPoolFile f;
   ASSERT_TRUE(f.Create(path, 1 << 20, 1, 7));
-  const NvmRange* r = LookupNvmRange(static_cast<char*>(f.base()) + 100);
-  ASSERT_NE(r, nullptr);
-  EXPECT_EQ(r->node, 1u);
-  EXPECT_EQ(r->pool_id, 7u);
-  EXPECT_EQ(LookupNvmRange(&path), nullptr);  // stack address is not NVM
+  NvmRange r;
+  ASSERT_TRUE(LookupNvmRange(static_cast<char*>(f.base()) + 100, &r));
+  EXPECT_EQ(r.node, 1u);
+  EXPECT_EQ(r.pool_id, 7u);
+  EXPECT_FALSE(LookupNvmRange(&path, &r));  // stack address is not NVM
   f.Close();
-  EXPECT_EQ(LookupNvmRange(static_cast<char*>(nullptr) + 100), nullptr);
+  EXPECT_FALSE(LookupNvmRange(static_cast<char*>(nullptr) + 100, &r));
   NvmPoolFile::Remove(path);
 }
 
