@@ -121,6 +121,13 @@ bool PacTree::Init(const PacTreeOptions& opts) {
       // from the data layer (this is exactly the restart cost the paper's
       // DRAM-internal-node designs pay; Figure 12 "DRAM SL").
       std::memset(static_cast<void*>(&root_->art), 0, sizeof(ArtTreeRoot));
+    } else {
+      // Attaching the surviving persistent search layer: pre-crash trie
+      // updates marked applied in the rings may have been evicted before
+      // reaching NVM, so the trie can permanently lack (or misdirect) some
+      // anchors. Jump-walk tolerates this (section 5.9); the strict mirror
+      // check in CheckInvariants must not demand exactness here.
+      search_layer_exact_ = false;
     }
     art_ = std::make_unique<PdlArt>(search_heap_.get(), &root_->art);
   }
@@ -501,15 +508,21 @@ void PacTree::TryMergeLocked(DataNode* node) {
   if (r2 != nullptr) {
     r2->StorePrevPersist(survivor_raw);
   }
-  // Unlock whichever sibling we locked here; the caller's node stays locked.
-  DataNode* locked_sibling = survivor == node ? victim : survivor;
-  locked_sibling->lock.WriteUnlock();
   stat_merges_.fetch_add(1, std::memory_order_relaxed);
+  // Publish (and, in sync mode, apply) while both nodes are still locked:
+  // once the survivor's lock drops, a racing split of the survivor can
+  // re-create this victim's anchor, and its SMO must publish -- and apply --
+  // strictly after this merge's. Publishing after the unlock would let that
+  // split draw a smaller seq than the causally-earlier merge, inverting the
+  // per-anchor order that replay (and recovery) rely on.
   updater_->Publish(e);
-
   if (!opts_.async_search_update) {
     updater_->ApplySync(e);
   }
+
+  // Unlock whichever sibling we locked here; the caller's node stays locked.
+  DataNode* locked_sibling = survivor == node ? victim : survivor;
+  locked_sibling->lock.WriteUnlock();
 }
 
 // ---------------------------------------------------------------------------
@@ -610,8 +623,27 @@ bool PacTree::CheckInvariants(std::string* why) const {
     *why = "head anchor is not Min";
     return false;
   }
+  // With the SMO logs drained, the search layer must exactly mirror the data
+  // layer: every live node's anchor maps to that node. (While entries are
+  // pending the trie may legitimately be stale -- the jump-node walk covers
+  // it -- so the check only runs on a drained tree, and only when this
+  // incarnation did not re-attach a persistent search layer whose pre-crash
+  // updates may have been evicted: section 5.9 staleness is permanent there.)
+  const bool check_search_layer = search_layer_exact_ && updater_->Drained();
   uint64_t prev_raw = 0;
   while (node != nullptr) {
+    if (check_search_layer) {
+      uint64_t mapped = 0;
+      if (art_->Lookup(node->anchor, &mapped) != Status::kOk) {
+        *why = "drained search layer is missing anchor " + node->anchor.ToString();
+        return false;
+      }
+      if (mapped != ToPPtr(node).Cast<void>().raw) {
+        *why = "drained search layer maps anchor " + node->anchor.ToString() +
+               " to the wrong node";
+        return false;
+      }
+    }
     if (node->IsDeleted()) {
       *why = "deleted node still linked";
       return false;

@@ -159,6 +159,12 @@ class PacTree {
   // SMO logging + replay: rings, writer-slot routing, backpressure, and the
   // per-NUMA updater services.
   std::unique_ptr<SmoUpdater> updater_;
+  // False when Init attached a pre-existing persistent search layer: trie
+  // updates already applied (and persisted as "applied" in the rings) before
+  // a crash may have been evicted without reaching NVM, leaving permanent but
+  // jump-walk-tolerated staleness (paper section 5.9). Only when this is true
+  // can CheckInvariants demand an exact trie<->data-layer mirror.
+  bool search_layer_exact_ = true;
 
   mutable std::atomic<uint64_t> stat_splits_{0};
   mutable std::atomic<uint64_t> stat_merges_{0};

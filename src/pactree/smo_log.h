@@ -36,7 +36,14 @@ struct SmoLogEntry {
                        // merge: the deleted right node
   uint64_t checksum;   // SmoEntryChecksum; 0 when the slot is retired
   Key anchor;          // split: new node's anchor; merge: deleted node's anchor
-  uint8_t pad[52];
+  uint8_t pad0[4];
+  // seq of the previous SMO on the same anchor that was still unapplied at
+  // publish time; 0 = none. Written before seq's release store; consumed only
+  // by the runtime sharded-replay ordering gate (recovery replays the rings
+  // single-threaded in global seq order and never reads it, so it needs no
+  // flush of its own).
+  uint64_t pred_seq;
+  uint8_t pad[40];
 };
 static_assert(sizeof(SmoLogEntry) == 128, "two cache lines per entry");
 

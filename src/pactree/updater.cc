@@ -133,9 +133,43 @@ SmoLogEntry* SmoUpdater::Log(uint32_t type, uint64_t node_raw, uint64_t other_ra
 void SmoUpdater::Publish(SmoLogEntry* e) {
   // The updater (and any same-anchor successor SMO) may act on this entry only
   // once the data layer reflects it; the seq store is that publication point.
-  uint64_t seq = smo_seq_.fetch_add(1, std::memory_order_relaxed);
+  // The caller still holds the data-node lock(s) covering the anchor's range,
+  // so same-anchor publishes are serialized; assigning the seq and recording
+  // the anchor's previous unapplied seq under one critical section makes
+  // pred_seq the exact same-anchor predecessor in causal order.
+  uint64_t seq;
+  uint64_t pred;
+  {
+    std::lock_guard<std::mutex> guard(anchor_mu_);
+    seq = smo_seq_.fetch_add(1, std::memory_order_relaxed);
+    AnchorSeqs& a = anchor_seqs_[e->anchor];
+    pred = a.published;
+    a.published = seq;
+  }
+  std::atomic_ref<uint64_t>(e->pred_seq).store(pred, std::memory_order_relaxed);
   std::atomic_ref<uint64_t>(e->seq).store(seq, std::memory_order_release);
   PersistFence(&e->seq, sizeof(e->seq));
+}
+
+bool SmoUpdater::AnchorApplied(const Key& anchor, uint64_t pred) const {
+  std::lock_guard<std::mutex> guard(anchor_mu_);
+  auto it = anchor_seqs_.find(anchor);
+  // Absent means every published SMO on the anchor has applied: the map entry
+  // is erased only when applied catches up to published, and published >= pred
+  // from the moment the predecessor was published.
+  return it == anchor_seqs_.end() || it->second.applied >= pred;
+}
+
+void SmoUpdater::MarkAnchorApplied(const Key& anchor, uint64_t seq) {
+  std::lock_guard<std::mutex> guard(anchor_mu_);
+  auto it = anchor_seqs_.find(anchor);
+  if (it == anchor_seqs_.end()) {
+    return;
+  }
+  it->second.applied = std::max(it->second.applied, seq);
+  if (it->second.applied >= it->second.published) {
+    anchor_seqs_.erase(it);  // no pending SMO left; bounds the map's size
+  }
 }
 
 void SmoUpdater::ApplySync(SmoLogEntry* e) {
@@ -148,19 +182,23 @@ void SmoUpdater::ApplySync(SmoLogEntry* e) {
 // ---------------------------------------------------------------------------
 
 void SmoUpdater::Apply(SmoLogEntry* e) {
+  uint64_t seq = std::atomic_ref<uint64_t>(e->seq).load(std::memory_order_relaxed);
   if (e->type == kSmoTypeSplit) {
     art_->Insert(e->anchor, e->other_raw);
     e->applied = 1;
     PersistFence(&e->applied, sizeof(e->applied));
     applied_.fetch_add(1, std::memory_order_relaxed);
-    return;
+  } else {
+    // Merge: remove the anchor, then free the victim after two epochs (§5.6).
+    art_->Remove(e->anchor);
+    e->applied = 1;
+    PersistFence(&e->applied, sizeof(e->applied));
+    applied_.fetch_add(1, std::memory_order_relaxed);
+    EpochManager::Instance().Retire(PPtr<void>(e->other_raw));
   }
-  // Merge: remove the anchor, then free the victim after two epochs (§5.6).
-  art_->Remove(e->anchor);
-  e->applied = 1;
-  PersistFence(&e->applied, sizeof(e->applied));
-  applied_.fetch_add(1, std::memory_order_relaxed);
-  EpochManager::Instance().Retire(PPtr<void>(e->other_raw));
+  // Only after the trie mutation is done may a same-anchor successor (possibly
+  // replaying concurrently in a peer shard) be released.
+  MarkAnchorApplied(e->anchor, seq);
 }
 
 size_t SmoUpdater::Pass(uint32_t shard) {
@@ -192,13 +230,12 @@ size_t SmoUpdater::Pass(uint32_t shard) {
   size_t applied = 0;
   for (const Item& it : items) {
     // Same-anchor SMOs must apply in causal order even if they live in another
-    // shard's rings or this pass's snapshot missed an earlier entry: a merge
-    // waits until its anchor is present (its split applied); a split
-    // re-creating an anchor waits until the prior merge removed it. Different
+    // shard's rings or this pass's snapshot missed an earlier entry. pred_seq
+    // names the exact predecessor; defer until it has applied. Different
     // anchors commute (see the ordering argument in the header).
-    uint64_t probe;
-    bool present = art_->Lookup(it.e->anchor, &probe) == Status::kOk;
-    if (it.e->type == kSmoTypeMerge ? !present : present) {
+    uint64_t pred =
+        std::atomic_ref<uint64_t>(it.e->pred_seq).load(std::memory_order_relaxed);
+    if (pred != 0 && !AnchorApplied(it.e->anchor, pred)) {
       break;  // defer the rest of this pass to preserve seq order in-shard
     }
     Apply(it.e);
@@ -229,6 +266,9 @@ void SmoUpdater::AdvanceHeads(uint32_t shard) {
       e.node_raw = 0;
       e.other_raw = 0;
       e.checksum = 0;
+      // pred_seq is volatile-only state (recovery never reads it) and Publish
+      // rewrites it before re-publishing the slot; clear it without a flush.
+      std::atomic_ref<uint64_t>(e.pred_seq).store(0, std::memory_order_relaxed);
       std::atomic_ref<uint32_t>(e.type).store(0, std::memory_order_release);
       // Everything a recycled slot could leak into a torn future entry --
       // payload and checksum -- is durably cleared in one line flush.
@@ -237,7 +277,15 @@ void SmoUpdater::AdvanceHeads(uint32_t shard) {
     }
     if (new_head != head) {
       Fence();
-      std::atomic_ref<uint64_t>(log->head).store(new_head, std::memory_order_release);
+      // Monotonic CAS advance: in sync mode two writers finishing ApplySync
+      // can retire the same shard concurrently, and a plain store could
+      // regress head past entries the winner already recycled (stranding the
+      // ring with head < tail and an empty entry at head).
+      uint64_t cur = head;
+      while (cur < new_head &&
+             !std::atomic_ref<uint64_t>(log->head).compare_exchange_weak(
+                 cur, new_head, std::memory_order_acq_rel)) {
+      }
       PersistFence(&log->head, sizeof(log->head));
     }
   }
@@ -288,16 +336,22 @@ void SmoUpdater::Drain() {
   }
   // Synchronous path (async_search_update=false, paused services, shutdown):
   // the caller replays every shard itself. All shards advance together --
-  // a deferred merge in one shard may wait on a split in another.
+  // a deferred merge in one shard may wait on a split in another. A round
+  // that applies nothing means a writer is mid-publish; yield instead of
+  // burning the core it may need.
   while (!Drained()) {
+    size_t applied = 0;
     for (uint32_t u = 0; u < opts_.shards; ++u) {
       if (u < services_.size()) {
-        services_[u]->RunPassInline();  // mutually exclusive with the worker
+        applied += services_[u]->RunPassInline();  // mutually exclusive with the worker
       } else {
-        Pass(u);
+        applied += Pass(u);
       }
     }
     EpochManager::Instance().TryAdvanceAndReclaim();
+    if (applied == 0) {
+      std::this_thread::yield();
+    }
   }
 }
 

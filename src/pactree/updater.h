@@ -17,23 +17,36 @@
 //   * within one ring, entries replay in published-seq order (a pass stops at
 //     the first unpublished entry);
 //   * across the rings of one shard, a pass merges entries by seq;
-//   * across shards, only same-anchor SMOs need ordering, and the apply loop
-//     enforces it causally: a merge of anchor A defers until A is present in
-//     the trie (its creating split applied), and a split re-creating A defers
-//     until the prior merge removed it. Different-anchor SMOs commute -- trie
+//   * across shards (and across a pass's racy snapshot of its own rings),
+//     only same-anchor SMOs need ordering, and that ordering is exact, not
+//     heuristic: every SMO on anchor A publishes while its caller holds the
+//     data-node lock covering A's range, so same-anchor publishes are
+//     serialized and their seq order equals causal order. Publish records the
+//     anchor's previous still-unapplied seq into the entry (pred_seq), and
+//     the apply loop defers any entry until its predecessor has applied
+//     (tracked in a volatile per-anchor map; recovery replays the rings
+//     single-threaded in global seq order and then resets them, so the map
+//     legitimately starts empty). A mere presence probe of A in the trie
+//     cannot do this -- for a split(A)/merge(A)/split(A) chain spread over
+//     three shards, "A absent" does not distinguish "merge already removed A"
+//     from "A never created yet". Different-anchor SMOs commute -- trie
 //     inserts/removes of distinct anchors are independent, and a reader that
 //     arrives through a not-yet-applied anchor walks the data layer's sibling
 //     pointers to the target (the jump-node mechanism, §5.3).
 // Deferral keeps seq order *within* the shard: the rest of the pass is
 // postponed, and the worker retries on its next pass (short cadence while a
-// drain is pending).
+// drain is pending). Progress is guaranteed: the globally smallest unapplied
+// published entry's predecessor is always already applied, so every full
+// round over all shards applies at least one entry.
 #ifndef PACTREE_SRC_PACTREE_UPDATER_H_
 #define PACTREE_SRC_PACTREE_UPDATER_H_
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/key.h"
@@ -83,6 +96,9 @@ class SmoUpdater {
   SmoLogEntry* Log(uint32_t type, uint64_t node_raw, uint64_t other_raw,
                    const Key& anchor);
   // Publishes the entry's sequence number once its data-layer work is durable.
+  // MUST be called while the caller still holds the data-node lock(s) covering
+  // the anchor's range: that lock serializes same-anchor publishes, which is
+  // what makes seq order equal causal order per anchor (see header comment).
   void Publish(SmoLogEntry* e);
   // Synchronous-mode path: applies |e| to the search layer on the calling
   // thread and retires the writer's ring entries.
@@ -113,6 +129,11 @@ class SmoUpdater {
   void Apply(SmoLogEntry* e);
   // Retires contiguously-applied entries and advances ring heads (shard only).
   void AdvanceHeads(uint32_t shard);
+  // True once the same-anchor predecessor with seq |pred| has been applied.
+  bool AnchorApplied(const Key& anchor, uint64_t pred) const;
+  // Records that |seq| has been applied for |anchor|; drops the map entry
+  // once no published SMO for the anchor remains unapplied.
+  void MarkAnchorApplied(const Key& anchor, uint64_t seq);
 
   Options opts_;
   PdlArt* art_;
@@ -121,6 +142,17 @@ class SmoUpdater {
   // Round-robin cursor per shard for assigning writer slots within the shard.
   std::unique_ptr<std::atomic<uint32_t>[]> next_slot_;
   std::vector<BackgroundService*> services_;
+
+  // Volatile same-anchor ordering state (see the header comment). An anchor
+  // appears here iff some published SMO on it is not yet applied; absence
+  // therefore means "no ordering constraint remains". Guarded by anchor_mu_
+  // (leaf lock, SMO-rate traffic only).
+  struct AnchorSeqs {
+    uint64_t published = 0;  // largest published seq for the anchor
+    uint64_t applied = 0;    // largest applied seq for the anchor
+  };
+  mutable std::mutex anchor_mu_;
+  std::unordered_map<Key, AnchorSeqs> anchor_seqs_;
 
   std::atomic<uint64_t> applied_{0};
   std::atomic<uint64_t> ring_full_waits_{0};

@@ -21,7 +21,10 @@ BackgroundService::BackgroundService(Options opts, PassFn pass)
 BackgroundService::~BackgroundService() { Stop(); }
 
 void BackgroundService::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  // A Start() racing a Stop() must not observe the stopping worker as "still
+  // running" and silently drop the restart.
+  cv_pass_.wait(lock, [&] { return !stopping_; });
   if (running_) {
     return;
   }
@@ -32,20 +35,32 @@ void BackgroundService::Start() {
 }
 
 void BackgroundService::Stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!running_) {
-      return;
-    }
-    stop_ = true;
-    kicks_++;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) {
+    // Another caller is already joining the worker; wait for it to finish so
+    // Stop()'s postcondition (worker gone) holds for every caller, and never
+    // join the same thread twice.
+    cv_pass_.wait(lock, [&] { return !stopping_; });
+    return;
   }
+  if (!running_) {
+    return;
+  }
+  stopping_ = true;
+  stop_ = true;
+  kicks_++;
+  lock.unlock();
   cv_worker_.notify_all();
   cv_pass_.notify_all();
   thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  lock.lock();
   running_ = false;
   stop_ = false;
+  stopping_ = false;
+  lock.unlock();
+  // Wake concurrent Stop() callers and any Drain() waiter that raced the
+  // stop_ reset above (its wait predicate also checks !running_).
+  cv_pass_.notify_all();
 }
 
 void BackgroundService::Pause() {
@@ -147,9 +162,20 @@ void BackgroundService::Drain(const std::function<bool()>& done) {
   while (true) {
     if (stop_ || !running_ || paused_) {
       // Synchronous fallback: the caller becomes the maintenance thread.
+      // Back off between unproductive passes -- |done| may be waiting on a
+      // peer's progress, and spinning at full speed would starve it.
       lock.unlock();
+      uint64_t backoff_us = 0;
       while (!done()) {
-        ExecutePass();
+        if (ExecutePass() > 0) {
+          backoff_us = 0;
+        } else if (backoff_us == 0) {
+          std::this_thread::yield();
+          backoff_us = 1;
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+          backoff_us = std::min(backoff_us * 2, opts_.idle_max_us);
+        }
       }
       return;
     }
@@ -164,8 +190,13 @@ void BackgroundService::Drain(const std::function<bool()>& done) {
       drain_waiters_--;
       return;
     }
-    // Wait for the next completed pass (or a lifecycle change), then re-check.
-    cv_pass_.wait(lock, [&] { return pass_gen_ != gen || stop_ || paused_; });
+    // Wait for the next completed pass or a lifecycle change, then re-check.
+    // !running_ matters: a concurrent Stop() clears stop_ again after joining
+    // the worker, and a waiter whose wakeup loses the mutex race to that
+    // final critical section would otherwise re-sleep with no notifier left.
+    cv_pass_.wait(lock, [&] {
+      return pass_gen_ != gen || stop_ || !running_ || paused_;
+    });
     drain_waiters_--;
   }
 }

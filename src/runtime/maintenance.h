@@ -87,6 +87,8 @@ class BackgroundService {
   void Start();
   // Stops and joins the worker. Pending work stays pending (the backing log
   // is the source of truth); a later Start() or inline Drain() picks it up.
+  // Safe against concurrent callers: the losing caller blocks until the
+  // winner has finished joining, then returns.
   void Stop();
 
   // Pause is a barrier: when it returns, no pass is in flight and none will
@@ -102,7 +104,10 @@ class BackgroundService {
   // |done| after every completed pass, and the worker keeps a short cadence
   // (idle_min_us) while drainers wait -- progress may depend on a *peer*
   // service applying first, so the worker must not park. On a stopped or
-  // paused service the caller executes the passes inline instead.
+  // paused service the caller executes the passes inline instead, backing
+  // off between unproductive passes; that fallback still requires |done| to
+  // eventually be satisfiable by this service's passes (or by concurrent
+  // external progress) -- it never returns early.
   void Drain(const std::function<bool()>& done);
 
   // Executes one pass on the calling thread, mutually exclusive with the
@@ -128,6 +133,7 @@ class BackgroundService {
   std::condition_variable cv_pass_;    // signals pass completion: drain barrier, pause barrier
   bool running_ = false;
   bool stop_ = false;
+  bool stopping_ = false;  // a Stop() call is joining the worker (cleared last)
   bool paused_ = false;
   bool pass_in_flight_ = false;
   uint64_t kicks_ = 0;     // bumped by Notify/Resume/Stop/Drain to break idle waits

@@ -121,6 +121,51 @@ TEST(BackgroundServiceTest, RegistryFiltersByPrefix) {
   EXPECT_EQ(MaintenanceRegistry::Instance().StatsSnapshot("alpha/").size(), 0u);
 }
 
+TEST(BackgroundServiceTest, ConcurrentStopCallsAreSafe) {
+  // Two racing Stop() calls must not both join the worker thread: the loser
+  // has to wait for the winner's join instead of throwing std::system_error
+  // on a no-longer-joinable thread.
+  for (int round = 0; round < 50; ++round) {
+    BackgroundService::Options o;
+    o.name = "test/stop-race";
+    o.idle_min_us = 1;
+    BackgroundService svc(std::move(o), [] { return size_t{0}; });
+    svc.Start();
+    RunWorkerThreads(4, [&](uint32_t) { svc.Stop(); });
+    EXPECT_FALSE(svc.running());
+    svc.Start();  // the service must stay restartable after a racy stop
+    EXPECT_TRUE(svc.running());
+    svc.Stop();
+  }
+}
+
+TEST(BackgroundServiceTest, DrainSurvivesConcurrentStop) {
+  // A drainer parked on the pass CV must notice a concurrent Stop() even when
+  // its wakeup loses the mutex race to Stop()'s final critical section (which
+  // resets stop_ after joining the worker): the wait predicate also watches
+  // running_, so the drainer falls back to inline passes instead of sleeping
+  // with no notifier left.
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<bool> flag{false};
+    BackgroundService::Options o;
+    o.name = "test/drain-stop";
+    o.idle_min_us = 1;
+    BackgroundService svc(std::move(o), [] { return size_t{0}; });
+    svc.Start();
+    RunWorkerThreads(
+        1,
+        [&](uint32_t) {
+          svc.Drain([&] { return flag.load(std::memory_order_relaxed); });
+        },
+        [&] {
+          svc.Stop();
+          flag.store(true, std::memory_order_relaxed);
+        });
+    EXPECT_TRUE(flag.load(std::memory_order_relaxed));
+    EXPECT_FALSE(svc.running());
+  }
+}
+
 TEST(EpochReclaimServiceTest, RefcountedSingleton) {
   auto count = [] {
     return MaintenanceRegistry::Instance().StatsSnapshot("epoch/reclaim").size();
@@ -350,6 +395,132 @@ TEST_F(MaintenanceTreeTest, SyncModeRegistersNoServicesAndStaysDrained) {
   EXPECT_EQ(s.smo_applied, s.splits + s.merges);
 }
 
+TEST_F(MaintenanceTreeTest, CrossShardSameAnchorChainsReplayInCausalOrder) {
+  // The reviewer scenario for presence-based ordering: a split(X) -> merge(X)
+  // -> split(X) chain queued across three different shards. A replayer that
+  // orders by "is X present in the trie" can apply the re-creating split
+  // first (X absent because the original split is unapplied), let the merge
+  // remove that fresh mapping, and finally apply the original split -- leaving
+  // X pointing at the merged-away victim that Apply() already retired. The
+  // predecessor-seq gate must serialize every such chain exactly.
+  GlobalNvmConfig().numa_nodes = 3;
+  PacTree::Destroy("maint_test");  // clear any stale third-node pool
+  opts_.updater_count = 3;
+  Open();
+  ASSERT_EQ(tree_->UpdaterServices().size(), 3u);
+  PauseAll();
+
+  constexpr uint64_t kKeys = 6000;
+  // Each phase runs on a fresh thread pinned to one logical node, so its SMOs
+  // queue in exactly that node's shard.
+  auto phase = [&](uint32_t node, const std::function<void()>& fn) {
+    RunWorkerThreads(1, [&](uint32_t) {
+      SetCurrentNumaNode(node);
+      fn();
+    });
+  };
+  // Build on node 0: the initial splits all queue in shard 0. Then empty the
+  // tree on node 1 (merging every node away deletes every anchor; merges
+  // queue in shard 1) and rebuild it with the identical insert sequence on
+  // node 2 (the tree collapsed back to a lone empty head node, so the same
+  // inserts re-split at the identical anchors; splits queue in shard 2).
+  // Every recurring anchor now carries exactly the reviewer's chain:
+  // split@shard0 -> merge@shard1 -> split@shard2.
+  phase(0, [&] {
+    for (uint64_t i = 0; i < kKeys; ++i) {
+      ASSERT_EQ(tree_->Insert(Key::FromInt(i), i + 1), Status::kOk);
+    }
+  });
+  phase(1, [&] {
+    for (uint64_t i = 0; i < kKeys; ++i) {
+      ASSERT_EQ(tree_->Remove(Key::FromInt(i)), Status::kOk);
+    }
+  });
+  phase(2, [&] {
+    for (uint64_t i = 0; i < kKeys; ++i) {
+      ASSERT_EQ(tree_->Insert(Key::FromInt(i), i + 2), Status::kOk);
+    }
+  });
+  // Before releasing the updaters, confirm the rings really do hold same-
+  // anchor chains whose links cross shards -- including full split/merge/split
+  // chains spanning three distinct shards.
+  std::map<uint64_t, std::pair<const SmoLogEntry*, uint32_t>> by_seq;
+  for (size_t s = 0; s < kMaxWriterSlots; ++s) {
+    SmoLog* log = tree_->updater()->log(s);
+    if (log == nullptr) {
+      continue;
+    }
+    for (uint64_t i = log->head; i < log->tail; ++i) {
+      const SmoLogEntry& e = log->At(i);
+      if (e.seq != 0) {
+        by_seq[e.seq] = {&e, static_cast<uint32_t>(s % 3)};
+      }
+    }
+  }
+  uint64_t cross_links = 0;
+  uint64_t three_shard_chains = 0;
+  for (const auto& [seq, entry_shard] : by_seq) {
+    const auto& [e, shard] = entry_shard;
+    if (e->pred_seq == 0) {
+      continue;
+    }
+    auto pred = by_seq.find(e->pred_seq);
+    if (pred == by_seq.end()) {
+      continue;
+    }
+    const auto& [p, pred_shard] = pred->second;
+    if (pred_shard != shard) {
+      cross_links++;
+    }
+    if (p->pred_seq != 0) {
+      auto grand = by_seq.find(p->pred_seq);
+      if (grand != by_seq.end() && shard != pred_shard &&
+          pred_shard != grand->second.second && shard != grand->second.second) {
+        three_shard_chains++;
+      }
+    }
+  }
+  EXPECT_GT(cross_links, 0u);
+  EXPECT_GT(three_shard_chains, 0u);
+
+  // Adversarial resume order: wake the shard holding the *latest* link of
+  // every chain first and give it several passes, then the merges, then the
+  // original splits. A presence-ordered replayer deterministically applies
+  // the re-creating splits first here; the predecessor-seq gate must instead
+  // hold every link until its predecessor shard catches up.
+  const auto& services = tree_->UpdaterServices();
+  auto release = [&](uint32_t u) {
+    uint64_t passes = services[u]->Stats().passes;
+    services[u]->Resume();
+    services[u]->Notify();
+    for (int spin = 0; spin < 2000; ++spin) {
+      if (services[u]->Stats().passes >= passes + 3) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  release(2);
+  release(1);
+  release(0);
+  tree_->DrainSmoLogs();
+  EXPECT_TRUE(tree_->SmoLogsDrained());
+  // CheckInvariants verifies that the drained search layer exactly mirrors
+  // the data layer -- a chain replayed out of order leaves anchors mapped to
+  // the merged-away (retired) victims instead of the rebuilt nodes.
+  std::string why;
+  ASSERT_TRUE(tree_->CheckInvariants(&why)) << why;
+  EXPECT_EQ(tree_->Size(), kKeys);
+  uint64_t v = 0;
+  for (uint64_t i = 0; i < kKeys; ++i) {
+    ASSERT_EQ(tree_->Lookup(Key::FromInt(i), &v), Status::kOk) << i;
+    ASSERT_EQ(v, i + 2);  // value from the rebuild
+  }
+  PacTreeStats s = tree_->Stats();
+  EXPECT_GT(s.merges, 0u);
+  EXPECT_EQ(s.smo_applied, s.splits + s.merges);
+}
+
 TEST_F(MaintenanceTreeTest, MultiUpdaterChurnMatchesModel) {
   opts_.updater_count = 2;
   Open();
@@ -357,7 +528,7 @@ TEST_F(MaintenanceTreeTest, MultiUpdaterChurnMatchesModel) {
   std::vector<std::map<uint64_t, uint64_t>> models(kThreads);
   // Insert/remove churn over disjoint per-thread ranges: splits and merges
   // re-create and remove the same anchors repeatedly, which exercises the
-  // cross-shard anchor-presence deferral.
+  // same-anchor predecessor-seq deferral across shards.
   RunWorkerThreads(kThreads, [&](uint32_t t) {
     SetCurrentNumaNode(t % 2);
     uint64_t base = static_cast<uint64_t>(t) * 10'000'000;
