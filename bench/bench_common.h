@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/absorb/absorb.h"
 #include "src/common/env.h"
 #include "src/index/range_index.h"
 #include "src/nvm/config.h"
@@ -32,6 +33,9 @@ namespace pactree {
 //                 rerun reproduces the same thread-to-CPU map.
 //   --updaters=N  run N PACTree background updater services (also settable
 //                 via PAC_UPDATERS; default is one per logical NUMA node).
+//   --absorb      route PACTree writes through the DRAM absorb buffer
+//                 (src/absorb): per-NUMA shards + persistent op-log, batched
+//                 sorted drains (also enabled by PAC_ABSORB=1).
 inline void ParseBenchFlags(int argc, char** argv) {
   bool pin = EnvU64("PAC_PIN", 0) != 0;
   for (int i = 1; i < argc; ++i) {
@@ -42,6 +46,8 @@ inline void ParseBenchFlags(int argc, char** argv) {
       // Indexes read PAC_UPDATERS at Open; routing the flag through the env
       // var keeps one resolution path for flag, env, and library callers.
       setenv("PAC_UPDATERS", arg.substr(11).c_str(), 1);
+    } else if (arg == "--absorb") {
+      setenv("PAC_ABSORB", "1", 1);  // same env-var resolution path
     }
   }
   SetThreadPinning(pin);
@@ -122,6 +128,23 @@ inline void PrintMaintenanceStats(const std::string& prefix = "") {
         static_cast<unsigned long long>(s.drains),
         s.pass_latency.Percentile(50) / 1e3, s.pass_latency.Percentile(99) / 1e3);
   }
+  std::fflush(stdout);
+}
+
+// Write-absorption counter report (companion to the per-service rows above,
+// which cover the drain services themselves via prefix "<name>/absorb").
+// All-zero when absorb is off.
+inline void PrintAbsorbStats(const AbsorbStats& a) {
+  std::printf(
+      "# absorb staged=%llu drained=%llu batches=%llu lookup_hits=%llu "
+      "ring_full_waits=%llu replayed=%llu pending=%llu\n",
+      static_cast<unsigned long long>(a.staged),
+      static_cast<unsigned long long>(a.drained),
+      static_cast<unsigned long long>(a.batches),
+      static_cast<unsigned long long>(a.lookup_hits),
+      static_cast<unsigned long long>(a.ring_full_waits),
+      static_cast<unsigned long long>(a.replayed),
+      static_cast<unsigned long long>(a.pending));
   std::fflush(stdout);
 }
 

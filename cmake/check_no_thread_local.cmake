@@ -12,6 +12,24 @@ file(GLOB_RECURSE sources
   "${SOURCE_DIR}/src/*.h"
   "${SOURCE_DIR}/src/*.cc")
 
+# Coverage guard: every linted subsystem must actually appear in the glob --
+# a directory rename or glob typo would otherwise silently drop it from scope
+# and the lint would keep passing vacuously.
+foreach(dir IN ITEMS absorb art baselines common index nvm pactree pmem pmwcas sync workload)
+  set(covered FALSE)
+  foreach(f IN LISTS sources)
+    if(f MATCHES "/src/${dir}/")
+      set(covered TRUE)
+      break()
+    endif()
+  endforeach()
+  if(NOT covered)
+    message(FATAL_ERROR
+      "lint coverage hole: no sources matched under src/${dir}/ -- update the "
+      "glob or the subsystem list")
+  endif()
+endforeach()
+
 set(violations "")
 foreach(f IN LISTS sources)
   if(f MATCHES "/src/runtime/")

@@ -1,0 +1,323 @@
+#include "src/absorb/absorb.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/nvm/config.h"
+#include "src/nvm/persist.h"
+#include "src/nvm/topology.h"
+#include "src/runtime/maintenance.h"
+
+namespace pactree {
+
+AbsorbBuffer::AbsorbBuffer(AbsorbOptions opts, AbsorbSink* sink)
+    : opts_(std::move(opts)), sink_(sink) {
+  opts_.shards = std::max<uint32_t>(
+      1, std::min<uint32_t>(opts_.shards, kAbsorbMaxShards));
+  opts_.ring_capacity = std::max<size_t>(
+      1, std::min<size_t>(opts_.ring_capacity, kAbsorbLogEntries));
+  if (opts_.drain_batch == 0) {
+    opts_.drain_batch = 1;
+  }
+  shards_ = std::make_unique<Shard[]>(opts_.shards);
+}
+
+AbsorbBuffer::~AbsorbBuffer() { StopServices(); }
+
+void AbsorbBuffer::AttachRing(uint32_t shard, AbsorbLogRing* ring) {
+  shards_[shard].ring = ring;
+}
+
+// ---------------------------------------------------------------------------
+// Front end
+// ---------------------------------------------------------------------------
+
+bool AbsorbBuffer::PresentLocked(const Shard& sh, const Key& key) const {
+  auto it = sh.staging.find(key);
+  if (it != sh.staging.end()) {
+    return !it->second.tombstone;
+  }
+  return sink_->AbsorbBaseLookup(key, nullptr) == Status::kOk;
+}
+
+void AbsorbBuffer::WaitRingSpace(std::unique_lock<std::mutex>& lock, Shard& sh,
+                                 uint32_t shard_idx) {
+  uint64_t backoff_us = 1;
+  while (sh.tail - sh.head >= opts_.ring_capacity) {
+    st_ring_full_waits_.fetch_add(1, std::memory_order_relaxed);
+    BackgroundService* svc =
+        shard_idx < services_.size() ? services_[shard_idx] : nullptr;
+    lock.unlock();
+    if (svc != nullptr && svc->running()) {
+      svc->Notify();
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us = std::min<uint64_t>(backoff_us * 2, 1000);
+    } else {
+      Pass(shard_idx);  // no worker to wait for: the writer drains
+    }
+    lock.lock();
+  }
+}
+
+void AbsorbBuffer::AppendLocked(Shard& sh, const Key& key, uint32_t type,
+                                uint64_t value) {
+  AbsorbLogEntry& e = sh.ring->entries[sh.tail % opts_.ring_capacity];
+  e.key = key;
+  e.value = value;
+  e.type = type;
+  e.seq = sh.next_seq;
+  e.checksum = AbsorbEntryChecksum(e);
+  // The single durability point of the op: the checksum spans every word
+  // written above, so a crash tearing this 128 B flush leaves a state that
+  // recovery provably discards. Consecutive appends land in the same or the
+  // adjacent XPLine and write-combine in the XPBuffer window.
+  PersistFence(&e, sizeof(e));
+  sh.staging[key] =
+      Pending{value, sh.next_seq, /*tombstone=*/type == kAbsorbOpTombstone};
+  sh.tail++;
+  sh.next_seq++;
+  st_staged_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status AbsorbBuffer::Insert(const Key& key, uint64_t value) {
+  uint32_t idx = ShardOf(key);
+  Shard& sh = shards_[idx];
+  std::unique_lock<std::mutex> lock(sh.mu);
+  WaitRingSpace(lock, sh, idx);
+  bool present = PresentLocked(sh, key);
+  AppendLocked(sh, key, kAbsorbOpUpsert, value);
+  return present ? Status::kExists : Status::kOk;
+}
+
+Status AbsorbBuffer::Update(const Key& key, uint64_t value) {
+  uint32_t idx = ShardOf(key);
+  Shard& sh = shards_[idx];
+  std::unique_lock<std::mutex> lock(sh.mu);
+  WaitRingSpace(lock, sh, idx);
+  if (!PresentLocked(sh, key)) {
+    return Status::kNotFound;
+  }
+  AppendLocked(sh, key, kAbsorbOpUpsert, value);
+  return Status::kOk;
+}
+
+Status AbsorbBuffer::Remove(const Key& key) {
+  uint32_t idx = ShardOf(key);
+  Shard& sh = shards_[idx];
+  std::unique_lock<std::mutex> lock(sh.mu);
+  WaitRingSpace(lock, sh, idx);
+  if (!PresentLocked(sh, key)) {
+    return Status::kNotFound;
+  }
+  AppendLocked(sh, key, kAbsorbOpTombstone, 0);
+  return Status::kOk;
+}
+
+AbsorbBuffer::Hit AbsorbBuffer::Lookup(const Key& key, uint64_t* value) const {
+  const Shard& sh = shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.staging.find(key);
+  if (it == sh.staging.end()) {
+    return Hit::kMiss;
+  }
+  st_lookup_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (it->second.tombstone) {
+    return Hit::kTombstone;
+  }
+  if (value != nullptr) {
+    *value = it->second.value;
+  }
+  return Hit::kValue;
+}
+
+void AbsorbBuffer::CollectFrom(const Key& start,
+                               std::map<Key, AbsorbPending>* out) const {
+  for (uint32_t i = 0; i < opts_.shards; ++i) {
+    const Shard& sh = shards_[i];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (auto it = sh.staging.lower_bound(start); it != sh.staging.end(); ++it) {
+      (*out)[it->first] = AbsorbPending{it->second.value, it->second.tombstone};
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Drain side
+// ---------------------------------------------------------------------------
+
+size_t AbsorbBuffer::Pass(uint32_t shard) {
+  Shard& sh = shards_[shard];
+  std::lock_guard<std::mutex> drain_lock(sh.drain_mu);
+  std::vector<AbsorbOp> batch;
+  uint64_t from;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    uint64_t n = std::min<uint64_t>(sh.tail - sh.head, opts_.drain_batch);
+    if (n == 0) {
+      return 0;
+    }
+    from = sh.head;
+    batch.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      const AbsorbLogEntry& e =
+          sh.ring->entries[(from + i) % opts_.ring_capacity];
+      batch.push_back(AbsorbOp{e.key, e.value, e.seq, e.type});
+    }
+  }
+  // Key-sorted application: runs targeting one data node become contiguous,
+  // so the sink takes each node's lock once and publishes one bitmap per
+  // node. Same-key ops keep seq order (last-writer-wins preserved).
+  std::sort(batch.begin(), batch.end(), [](const AbsorbOp& a, const AbsorbOp& b) {
+    return a.key != b.key ? a.key < b.key : a.seq < b.seq;
+  });
+  sink_->AbsorbApply(batch.data(), batch.size());
+
+  // The application above is durable; now un-stage and trim the log.
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (const AbsorbOp& op : batch) {
+      auto it = sh.staging.find(op.key);
+      if (it != sh.staging.end() && it->second.seq == op.seq) {
+        sh.staging.erase(it);  // newest staged op for the key just drained
+      }
+    }
+    for (uint64_t i = 0; i < batch.size(); ++i) {
+      AbsorbLogEntry& e = sh.ring->entries[(from + i) % opts_.ring_capacity];
+      // Durably retire: zero the checksummed head words in one line flush.
+      // The stale key bytes beyond them can never validate again.
+      e.seq = 0;
+      e.value = 0;
+      e.type = 0;
+      e.pad0 = 0;
+      e.checksum = 0;
+      PersistRange(&e, 32);
+    }
+    Fence();
+    // Counters move under mu: a Drain() barrier may observe the shard empty
+    // the moment head reaches tail, and the stats it reads next must already
+    // include this batch.
+    st_drained_.fetch_add(batch.size(), std::memory_order_relaxed);
+    st_batches_.fetch_add(1, std::memory_order_relaxed);
+    sh.head = from + batch.size();
+    sh.ring->head = sh.head;
+    sh.ring->tail = sh.tail;
+    PersistFence(sh.ring, 2 * sizeof(uint64_t));
+  }
+  return batch.size();
+}
+
+bool AbsorbBuffer::ShardDrained(uint32_t shard) const {
+  const Shard& sh = shards_[shard];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  return sh.tail == sh.head;
+}
+
+bool AbsorbBuffer::Drained() const {
+  for (uint32_t i = 0; i < opts_.shards; ++i) {
+    if (!ShardDrained(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AbsorbBuffer::Drain() {
+  for (uint32_t i = 0; i < opts_.shards; ++i) {
+    if (i < services_.size() && services_[i] != nullptr) {
+      services_[i]->Drain([this, i] { return ShardDrained(i); });
+    } else {
+      while (!ShardDrained(i)) {
+        Pass(i);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+size_t AbsorbBuffer::ReplayAndReset() {
+  size_t replayed = 0;
+  for (uint32_t s = 0; s < opts_.shards; ++s) {
+    Shard& sh = shards_[s];
+    if (sh.ring == nullptr) {
+      continue;
+    }
+    std::vector<AbsorbOp> ops;
+    uint64_t max_seq = 0;
+    // Scan every slot, not [head, tail]: the persisted counters may lag the
+    // last acked append. Checksums are the only truth.
+    for (size_t i = 0; i < kAbsorbLogEntries; ++i) {
+      const AbsorbLogEntry& e = sh.ring->entries[i];
+      if (e.type == 0 || e.checksum != AbsorbEntryChecksum(e)) {
+        continue;  // empty, retired, or torn: the op was never acked
+      }
+      ops.push_back(AbsorbOp{e.key, e.value, e.seq, e.type});
+      max_seq = std::max(max_seq, e.seq);
+    }
+    if (!ops.empty()) {
+      // Same (key, seq) order as a drain batch: replay is just a big drain.
+      // Re-applying ops a crashed drain already applied converges (upserts
+      // rewrite the same value, tombstones find the key already gone).
+      std::sort(ops.begin(), ops.end(), [](const AbsorbOp& a, const AbsorbOp& b) {
+        return a.key != b.key ? a.key < b.key : a.seq < b.seq;
+      });
+      sink_->AbsorbApply(ops.data(), ops.size());
+      replayed += ops.size();
+    }
+    std::memset(static_cast<void*>(sh.ring), 0, sizeof(AbsorbLogRing));
+    PersistFence(sh.ring, sizeof(AbsorbLogRing));
+    sh.head = 0;
+    sh.tail = 0;
+    sh.next_seq = max_seq + 1;
+  }
+  st_replayed_.fetch_add(replayed, std::memory_order_relaxed);
+  return replayed;
+}
+
+// ---------------------------------------------------------------------------
+// Services
+// ---------------------------------------------------------------------------
+
+void AbsorbBuffer::StartServices() {
+  if (!opts_.async || !services_.empty()) {
+    return;
+  }
+  uint32_t nodes = std::max<uint32_t>(1, GlobalNvmConfig().numa_nodes);
+  for (uint32_t i = 0; i < opts_.shards; ++i) {
+    BackgroundService::Options o;
+    o.name = opts_.name + "/absorb/drain-" + std::to_string(i);
+    int node = static_cast<int>(i % nodes);
+    o.numa_node = node;
+    o.thread_init = [node] { SetCurrentNumaNode(static_cast<uint32_t>(node)); };
+    services_.push_back(MaintenanceRegistry::Instance().Register(
+        std::move(o), [this, i] { return Pass(i); }));
+  }
+}
+
+void AbsorbBuffer::StopServices() {
+  for (BackgroundService* s : services_) {
+    MaintenanceRegistry::Instance().Unregister(s);
+  }
+  services_.clear();
+}
+
+AbsorbStats AbsorbBuffer::Stats() const {
+  AbsorbStats s;
+  s.staged = st_staged_.load(std::memory_order_relaxed);
+  s.drained = st_drained_.load(std::memory_order_relaxed);
+  s.batches = st_batches_.load(std::memory_order_relaxed);
+  s.lookup_hits = st_lookup_hits_.load(std::memory_order_relaxed);
+  s.ring_full_waits = st_ring_full_waits_.load(std::memory_order_relaxed);
+  s.replayed = st_replayed_.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < opts_.shards; ++i) {
+    const Shard& sh = shards_[i];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    s.pending += sh.tail - sh.head;
+  }
+  return s;
+}
+
+}  // namespace pactree

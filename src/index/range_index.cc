@@ -41,7 +41,11 @@ class PacTreeIndex : public RangeIndex {
   }
   uint64_t Size() const override { return tree_->Size(); }
   std::string Name() const override { return "PACTree"; }
-  void Drain() override { tree_->DrainSmoLogs(); }
+  void Drain() override {
+    // Absorb first: drained batches may log SMOs.
+    tree_->DrainAbsorb();
+    tree_->DrainSmoLogs();
+  }
   bool CheckInvariants(std::string* why) const override {
     return tree_->CheckInvariants(why);
   }
@@ -50,7 +54,9 @@ class PacTreeIndex : public RangeIndex {
            tree_->data_heap()->PendingLogEntries() +
            tree_->log_heap()->PendingLogEntries();
   }
-  bool OperationLogsDrained() const override { return tree_->SmoLogsDrained(); }
+  bool OperationLogsDrained() const override {
+    return tree_->SmoLogsDrained() && tree_->AbsorbDrained();
+  }
   std::vector<PmemHeap*> Heaps() const override {
     return {tree_->search_heap(), tree_->data_heap(), tree_->log_heap()};
   }
@@ -188,6 +194,7 @@ std::unique_ptr<RangeIndex> CreateIndex(IndexKind kind, const IndexFactoryOption
       o.dram_search_layer = opts.pactree_dram_search_layer;
       o.per_numa_pools = opts.per_numa_pools;
       o.updater_count = opts.pactree_updaters;
+      o.absorb_writes = opts.pactree_absorb_writes;
       auto tree = PacTree::Open(o);
       return tree == nullptr ? nullptr
                              : std::make_unique<PacTreeIndex>(std::move(tree));

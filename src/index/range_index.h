@@ -76,6 +76,9 @@ struct IndexFactoryOptions {
   // Background updater services (0 = auto: PAC_UPDATERS env var if set, else
   // one per logical NUMA node).
   uint32_t pactree_updaters = 0;
+  // Route writes through the DRAM absorb buffer (src/absorb); also enabled by
+  // PAC_ABSORB=1 (the bench --absorb flag).
+  bool pactree_absorb_writes = false;
   // FP-Tree HTM model (ignored by other kinds).
   double fptree_spurious_abort_per_line = 0.0;
   // Reopen existing pool files and run recovery instead of destroying them --

@@ -1,0 +1,166 @@
+// AbsorbSink implementation: applies a key-sorted drain batch from the absorb
+// buffer to the data layer (paper §4.2's batched write absorption).
+//
+// The win over per-op Insert/Remove is media-write coalescing: all ops that
+// land in one data node are applied under a single lock acquisition, their
+// slot writes are flushed together (adjacent slots share XPLines, all 64
+// fingerprints share one), and the valid bitmap -- the durability pivot -- is
+// published ONCE per node per batch instead of once per op.
+//
+// Crash consistency: the caller (AbsorbBuffer::Pass) trims the op log only
+// after this returns, so every state this function can crash in is repaired by
+// re-replaying the batch. Application is idempotent: an upsert of a present
+// key overwrites its value in place (8-byte, media-atomic), a tombstone of an
+// absent key is a no-op. Readers never observe intermediate states -- the
+// node's write lock is held across the whole group and dirty slots are fenced
+// durable before the bitmap publish that makes them visible.
+#include <cassert>
+
+#include "src/common/compiler.h"
+#include "src/nvm/persist.h"
+#include "src/pactree/pactree.h"
+#include "src/sync/epoch.h"
+
+namespace pactree {
+
+namespace {
+
+// Slot of |key| among the bits of |bm| (the batch-local live view, which can
+// differ from the published bitmap mid-group), or -1. Compares keys directly:
+// fingerprints of slots written earlier in this batch are not yet flushed, but
+// both live in DRAM-coherent cache, so plain compares are exact under the
+// node's write lock. NO_TSAN: slots race with optimistic readers, which
+// discard their observations when lock validation fails (see data_node.cc).
+PACTREE_NO_TSAN int FindKeyMasked(const DataNode* node, const Key& key,
+                                  uint64_t bm) {
+  while (bm != 0) {
+    int i = __builtin_ctzll(bm);
+    if (node->keys[i] == key) {
+      return i;
+    }
+    bm &= bm - 1;
+  }
+  return -1;
+}
+
+// Raw slot writes without per-slot flushes (coalesced in FlushDirtySlots).
+// NO_TSAN for the same optimistic-reader race FillSlot tolerates.
+PACTREE_NO_TSAN void WriteSlot(DataNode* node, int slot, const Key& key,
+                               uint64_t value) {
+  node->keys[slot] = key;
+  node->values[slot] = value;
+  node->fp[slot] = key.Fingerprint();
+}
+
+PACTREE_NO_TSAN void WriteValue(DataNode* node, int slot, uint64_t value) {
+  node->values[slot] = value;
+}
+
+// Flushes every dirty slot's key/value/fingerprint and fences once. Adjacent
+// dirty slots coalesce into shared XPLines via the flush-combining window;
+// the fingerprint array contributes at most one line for the whole batch.
+void FlushDirtySlots(DataNode* node, uint64_t dirty) {
+  uint64_t d = dirty;
+  while (d != 0) {
+    int s = __builtin_ctzll(d);
+    d &= d - 1;
+    PersistRange(&node->keys[s], sizeof(Key));
+    PersistRange(&node->values[s], sizeof(uint64_t));
+    PersistRange(&node->fp[s], 1);
+  }
+  if (dirty != 0) {
+    Fence();  // slots durable BEFORE the bitmap publish that exposes them
+  }
+}
+
+}  // namespace
+
+void PacTree::AbsorbApply(const AbsorbOp* ops, size_t n) {
+  EpochGuard guard;
+  size_t i = 0;
+  while (i < n) {
+    uint64_t version;
+    DataNode* node = FindDataNode(ops[i].key, &version);
+    if (!node->lock.TryUpgrade(version)) {
+      stat_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    AnnotateNvmRead(node, sizeof(DataNode));
+    // |bm| is the batch-local live view, |dirty| the slots needing a flush;
+    // both publish at group end (or just before a split).
+    uint64_t bm = node->Bitmap();
+    // Last-published bitmap: a slot live here has durable contents readers
+    // (and a recovering crash image) may rely on, even if an in-batch
+    // tombstone already cleared it from |bm|. Such a slot must not be
+    // rewritten until the cleared bitmap is published -- otherwise a torn
+    // flush leaves a live slot with mixed old/new key/fingerprint bytes.
+    uint64_t published = bm;
+    uint64_t dirty = 0;
+    bool removed_any = false;
+    while (i < n) {
+      const AbsorbOp& op = ops[i];
+      DataNode* next = node->Next();
+      if (op.key < node->anchor ||
+          (next != nullptr && next->anchor <= op.key)) {
+        break;  // next op belongs to another node: finish this group
+      }
+      int slot = FindKeyMasked(node, op.key, bm);
+      if (op.type == kAbsorbOpTombstone) {
+        if (slot >= 0) {
+          bm &= ~(1ULL << slot);
+          dirty &= ~(1ULL << slot);  // a dead slot never needs its flush
+          removed_any = true;
+        }
+        ++i;
+        continue;
+      }
+      if (slot >= 0) {
+        // In-place value overwrite: 8-byte media-atomic, invisible until the
+        // write lock drops (optimistic readers fail validation), re-replayed
+        // from the op log if it crashes unflushed.
+        WriteValue(node, slot, op.value);
+        dirty |= 1ULL << slot;
+        ++i;
+        continue;
+      }
+      if (bm == ~0ULL) {
+        // Full: make the batch-local state real, then split. SplitLocked
+        // reads the published bitmap and returns the locked half owning
+        // op.key; the op is re-dispatched against it.
+        FlushDirtySlots(node, dirty);
+        node->PublishBitmap(bm);
+        node = SplitLocked(node, op.key);
+        bm = node->Bitmap();
+        published = bm;
+        dirty = 0;
+        continue;
+      }
+      if ((bm | published) == ~0ULL) {
+        // Only tombstone-freed slots remain. Retire them durably (publish the
+        // cleared bitmap) before reuse; see |published| above.
+        FlushDirtySlots(node, dirty);
+        node->PublishBitmap(bm);
+        published = bm;
+        dirty = 0;
+      }
+      int free = __builtin_ctzll(~(bm | published));
+      WriteSlot(node, free, op.key, op.value);
+      bm |= 1ULL << free;
+      dirty |= 1ULL << free;
+      ++i;
+    }
+    FlushDirtySlots(node, dirty);
+    if (bm != node->Bitmap()) {
+      node->PublishBitmap(bm);  // ONE durability-pivot publish for the group
+    }
+    if (!opts_.selective_persistence) {
+      MaintainPermutation(node);
+    }
+    if (removed_any) {
+      TryMergeLocked(node);
+    }
+    node->lock.WriteUnlock();
+  }
+}
+
+}  // namespace pactree

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <map>
 
 #include "src/common/compiler.h"
 #include "src/common/env.h"
@@ -33,6 +34,15 @@ uint32_t ResolveUpdaterCount(const PacTreeOptions& opts) {
   }
   return static_cast<uint32_t>(std::min<uint64_t>(n, kMaxWriterSlots));
 }
+
+// Absorb shard count: explicit option, else one per logical NUMA node.
+uint32_t ResolveAbsorbShards(const PacTreeOptions& opts) {
+  uint64_t n = opts.absorb_shards;
+  if (n == 0) {
+    n = std::max<uint32_t>(1, GlobalNvmConfig().numa_nodes);
+  }
+  return static_cast<uint32_t>(std::min<uint64_t>(n, kAbsorbMaxShards));
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -56,6 +66,9 @@ void PacTree::Destroy(const std::string& name) {
 bool PacTree::Init(const PacTreeOptions& opts) {
   static_assert(sizeof(PacRoot) <= kRootAreaSize, "root area too small");
   opts_ = opts;
+  if (!opts_.absorb_writes && EnvU64("PAC_ABSORB", 0) != 0) {
+    opts_.absorb_writes = true;  // bench --absorb routes through the env var
+  }
   PmemHeapOptions h;
   h.pool_size = opts.pool_size;
   h.single_pool = !opts.per_numa_pools;
@@ -144,8 +157,34 @@ bool PacTree::Init(const PacTreeOptions& opts) {
 
   // Recovery replays the rings single-threaded, then resets them; only after
   // that do the per-shard updater services (and the shared epoch-reclaim
-  // service) come up.
+  // service) come up. This includes replaying every non-null absorb op-log
+  // ring, independent of this incarnation's absorb configuration.
   Recover();
+
+  if (opts_.absorb_writes) {
+    AbsorbOptions ao;
+    ao.name = opts_.name;
+    ao.shards = ResolveAbsorbShards(opts_);
+    ao.ring_capacity = opts_.absorb_ring_capacity;
+    ao.drain_batch = opts_.absorb_drain_batch;
+    ao.async = opts_.async_search_update;
+    absorb_ = std::make_unique<AbsorbBuffer>(ao, static_cast<AbsorbSink*>(this));
+    for (uint32_t i = 0; i < absorb_->shards(); ++i) {
+      if (root_->absorb_raws[i] == 0) {
+        PPtr<void> ring = log_heap_->AllocTo(ToPPtr(&root_->absorb_raws[i]),
+                                             sizeof(AbsorbLogRing));
+        if (ring.IsNull()) {
+          return false;
+        }
+        // The allocator zeroes DRAM but does not persist it: stale media bytes
+        // from a previously freed block could otherwise resurrect entries with
+        // valid checksums on recovery. Make the zeroed ring durable once.
+        PersistFence(ring.get(), sizeof(AbsorbLogRing));
+      }
+      absorb_->AttachRing(i, PPtr<AbsorbLogRing>(root_->absorb_raws[i]).get());
+    }
+    absorb_->StartServices();
+  }
 
   if (opts_.async_search_update) {
     updater_->StartServices();
@@ -158,9 +197,14 @@ PacTree::~PacTree() {
   if (updater_ == nullptr) {
     return;  // Init failed before the updater came up (e.g. bad pool file)
   }
-  // Drain while the services are still live (CV barrier; falls back to inline
-  // replay in sync mode), then tear them down and release the shared
-  // epoch-reclaim service.
+  // Quiesce front-to-back: absorb drains first (its batches log SMOs), then
+  // the SMO logs, while all services are still live (CV barriers; inline
+  // replay in sync mode). Only then tear the services down and release the
+  // shared epoch-reclaim service.
+  if (absorb_ != nullptr) {
+    DrainAbsorb();
+    absorb_->StopServices();
+  }
   DrainSmoLogs();
   updater_->StopServices();
   if (opts_.async_search_update) {
@@ -174,6 +218,16 @@ PacTree::~PacTree() {
 void PacTree::DrainSmoLogs() { updater_->Drain(); }
 
 bool PacTree::SmoLogsDrained() const { return updater_->Drained(); }
+
+void PacTree::DrainAbsorb() {
+  if (absorb_ != nullptr) {
+    absorb_->Drain();
+  }
+}
+
+bool PacTree::AbsorbDrained() const {
+  return absorb_ == nullptr || absorb_->Drained();
+}
 
 // ---------------------------------------------------------------------------
 // Data-layer navigation (jump-node fix-up, §5.3)
@@ -234,6 +288,26 @@ DataNode* PacTree::FindDataNode(const Key& key, uint64_t* version) const {
 // ---------------------------------------------------------------------------
 
 Status PacTree::Lookup(const Key& key, uint64_t* value) const {
+  if (absorb_ != nullptr) {
+    // The owning shard's staging area holds the freshest acked write for this
+    // key (if any); a staged tombstone masks the data layer.
+    uint64_t v = 0;
+    switch (absorb_->Lookup(key, &v)) {
+      case AbsorbBuffer::Hit::kValue:
+        if (value != nullptr) {
+          *value = v;
+        }
+        return Status::kOk;
+      case AbsorbBuffer::Hit::kTombstone:
+        return Status::kNotFound;
+      case AbsorbBuffer::Hit::kMiss:
+        break;
+    }
+  }
+  return LookupBase(key, value);
+}
+
+Status PacTree::LookupBase(const Key& key, uint64_t* value) const {
   EpochGuard guard;
   uint8_t fingerprint = key.Fingerprint();
   while (true) {
@@ -270,6 +344,9 @@ void PacTree::MaintainPermutation(DataNode* node) {
 }
 
 Status PacTree::Insert(const Key& key, uint64_t value) {
+  if (absorb_ != nullptr) {
+    return absorb_->Insert(key, value);
+  }
   EpochGuard guard;
   uint8_t fingerprint = key.Fingerprint();
   while (true) {
@@ -302,6 +379,9 @@ Status PacTree::Insert(const Key& key, uint64_t value) {
 }
 
 Status PacTree::Update(const Key& key, uint64_t value) {
+  if (absorb_ != nullptr) {
+    return absorb_->Update(key, value);
+  }
   EpochGuard guard;
   uint8_t fingerprint = key.Fingerprint();
   while (true) {
@@ -348,6 +428,9 @@ Status PacTree::Update(const Key& key, uint64_t value) {
 }
 
 Status PacTree::Remove(const Key& key) {
+  if (absorb_ != nullptr) {
+    return absorb_->Remove(key);
+  }
   EpochGuard guard;
   uint8_t fingerprint = key.Fingerprint();
   while (true) {
@@ -531,6 +614,64 @@ void PacTree::TryMergeLocked(DataNode* node) {
 
 size_t PacTree::Scan(const Key& start, size_t count,
                      std::vector<std::pair<Key, uint64_t>>* out) const {
+  if (absorb_ == nullptr) {
+    return ScanBase(start, count, out);
+  }
+  // Merge the absorb shards' staged ops with the data layer. Snapshot the
+  // staging first: an op that drains between the snapshot and the base scan
+  // then appears in both streams, and the equal-key dedupe below (staging
+  // wins) still emits it exactly once. Over-fetch the base scan by the staged
+  // tombstone count so each tombstone can mask one base key and the merge can
+  // still produce |count| results.
+  std::map<Key, AbsorbPending> pending;
+  absorb_->CollectFrom(start, &pending);
+  size_t tomb = 0;
+  for (const auto& [k, p] : pending) {
+    (void)k;
+    if (p.tombstone) {
+      ++tomb;
+    }
+  }
+  std::vector<std::pair<Key, uint64_t>> base;
+  ScanBase(start, count + tomb, &base);
+  // When the base scan filled its window there may be further data-layer keys
+  // just past base.back(); a staged-only key beyond that point cannot be
+  // emitted without skipping them.
+  const bool have_limit = base.size() == count + tomb && !base.empty();
+  const Key limit = have_limit ? base.back().first : Key();
+
+  out->clear();
+  auto it = pending.begin();
+  size_t bi = 0;
+  while (out->size() < count && (it != pending.end() || bi < base.size())) {
+    bool take_pending;
+    if (it == pending.end()) {
+      take_pending = false;
+    } else if (bi >= base.size()) {
+      take_pending = true;
+    } else {
+      take_pending = !(base[bi].first < it->first);
+    }
+    if (take_pending) {
+      if (bi < base.size() && !(it->first < base[bi].first)) {
+        ++bi;  // same key surfaced by the base scan: the staged op supersedes
+      } else if (bi >= base.size() && have_limit && limit < it->first) {
+        break;  // staged-only key beyond the truncated base window
+      }
+      if (!it->second.tombstone) {
+        out->push_back({it->first, it->second.value});
+      }
+      ++it;
+    } else {
+      out->push_back(base[bi]);
+      ++bi;
+    }
+  }
+  return out->size();
+}
+
+size_t PacTree::ScanBase(const Key& start, size_t count,
+                         std::vector<std::pair<Key, uint64_t>>* out) const {
   EpochGuard guard;
   out->clear();
   Key cursor = start;  // smallest key still wanted
@@ -610,6 +751,20 @@ uint64_t PacTree::Size() const {
     }
     node = node->Next();
   }
+  if (absorb_ != nullptr) {
+    // Staged ops not yet drained: an upsert of a key absent from the data
+    // layer adds one, a tombstone of a present key removes one.
+    std::map<Key, AbsorbPending> pending;
+    absorb_->CollectFrom(Key::Min(), &pending);
+    for (const auto& [k, p] : pending) {
+      const bool in_base = LookupBase(k, nullptr) == Status::kOk;
+      if (p.tombstone && in_base) {
+        --total;
+      } else if (!p.tombstone && !in_base) {
+        ++total;
+      }
+    }
+  }
   return total;
 }
 
@@ -688,6 +843,12 @@ PacTreeStats PacTree::Stats() const {
     s.jump_hops[i] = stat_hops_[i].load(std::memory_order_relaxed);
   }
   s.retries = stat_retries_.load(std::memory_order_relaxed);
+  if (absorb_ != nullptr) {
+    s.absorb = absorb_->Stats();
+  }
+  // Recovery replays through a temporary buffer (see recovery.cc) whose
+  // counters die with it; the replay count is carried here.
+  s.absorb.replayed += absorb_replayed_;
   return s;
 }
 

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/absorb/absorb.h"
 #include "src/art/art.h"
 #include "src/common/key.h"
 #include "src/common/status.h"
@@ -55,6 +56,20 @@ struct PacTreeOptions {
   // Effective ring capacity (<= kSmoLogEntries); tests shrink it to exercise
   // writer-side backpressure without logging thousands of SMOs.
   size_t smo_ring_capacity = kSmoLogEntries;
+
+  // Write absorption (src/absorb): route Insert/Update/Remove through per-NUMA
+  // DRAM absorb shards backed by persistent op-log rings; drain services apply
+  // key-sorted batches to the data layer, coalescing media writes. Also
+  // enabled by PAC_ABSORB=1 (the bench --absorb flag).
+  bool absorb_writes = false;
+  // Absorb shard count. 0 = auto: one per logical NUMA node. Clamped to
+  // [1, kAbsorbMaxShards].
+  uint32_t absorb_shards = 0;
+  // Effective absorb ring capacity (<= kAbsorbLogEntries); tests shrink it to
+  // exercise writer-side backpressure.
+  size_t absorb_ring_capacity = kAbsorbLogEntries;
+  // Max ops an absorb drain pass pulls off one shard's ring.
+  size_t absorb_drain_batch = 128;
 };
 
 struct PacTreeStats {
@@ -68,9 +83,11 @@ struct PacTreeStats {
   // needed after the search-layer traversal.
   uint64_t jump_hops[4] = {0, 0, 0, 0};  // 0, 1, 2, >=3
   uint64_t retries = 0;
+  // Write-absorption counters (all zero when absorb_writes is off).
+  AbsorbStats absorb;
 };
 
-class PacTree {
+class PacTree : private AbsorbSink {
  public:
   // Opens (or creates) the index. Runs full recovery when attaching to an
   // existing instance. Returns null on failure.
@@ -99,6 +116,11 @@ class PacTree {
   // (CV drain barrier against the updater services; inline replay when they
   // are paused, stopped, or absent in sync mode).
   void DrainSmoLogs();
+  // Blocks until every absorb shard's staged ops have drained into the data
+  // layer (no-op when absorb_writes is off). Drained absorb batches may log
+  // SMOs, so callers wanting a fully-quiesced tree drain absorb first, then
+  // the SMO logs.
+  void DrainAbsorb();
 
   PacTreeStats Stats() const;
   const PacTreeOptions& options() const { return opts_; }
@@ -124,6 +146,11 @@ class PacTree {
   // True when every SMO ring is empty (head == tail, no live entries) --
   // guaranteed immediately after Open/Recover and after DrainSmoLogs.
   bool SmoLogsDrained() const;
+  // True when no absorb op is staged (trivially true with absorb off) --
+  // guaranteed immediately after Open/Recover and after DrainAbsorb.
+  bool AbsorbDrained() const;
+  // The write-absorption buffer; null when absorb_writes is off.
+  AbsorbBuffer* absorb() const { return absorb_.get(); }
 
  private:
   struct PacRoot;  // persistent root object (defined in .cc)
@@ -139,6 +166,20 @@ class PacTree {
   // Finds the data node owning |key|: search-layer floor + sibling fix-up.
   // Returns the node with a validated read token.
   DataNode* FindDataNode(const Key& key, uint64_t* version) const;
+
+  // Data-layer-only point lookup / scan (no absorb consult); the bodies of
+  // the public ops when absorb_writes is off.
+  Status LookupBase(const Key& key, uint64_t* value) const;
+  size_t ScanBase(const Key& start, size_t count,
+                  std::vector<std::pair<Key, uint64_t>>* out) const;
+
+  // AbsorbSink: presence checks against the data layer, and the batched
+  // drain application (absorb_apply.cc) -- per target node, one lock
+  // acquisition, coalesced slot flushes, a single bitmap publish.
+  Status AbsorbBaseLookup(const Key& key, uint64_t* value) const override {
+    return LookupBase(key, value);
+  }
+  void AbsorbApply(const AbsorbOp* ops, size_t n) override;
 
   // Splits |node| (write-locked, full). Returns the node that now owns |key|
   // (still write-locked; the other half is unlocked).
@@ -159,6 +200,11 @@ class PacTree {
   // SMO logging + replay: rings, writer-slot routing, backpressure, and the
   // per-NUMA updater services.
   std::unique_ptr<SmoUpdater> updater_;
+  // Write absorption (null when absorb_writes is off): per-NUMA shards with
+  // persistent op-log rings and drain services.
+  std::unique_ptr<AbsorbBuffer> absorb_;
+  // Absorb op-log entries replayed by this incarnation's recovery.
+  uint64_t absorb_replayed_ = 0;
   // False when Init attached a pre-existing persistent search layer: trie
   // updates already applied (and persisted as "applied" in the rings) before
   // a crash may have been evicted without reaching NVM, leaving permanent but

@@ -65,6 +65,12 @@ void BackgroundService::Stop() {
 
 void BackgroundService::Pause() {
   std::unique_lock<std::mutex> lock(mu_);
+  if (!running_ || stopping_) {
+    // No worker to park (before Start(), after Stop(), or mid-Stop()): a
+    // stale paused_ here would either be silently dropped by the next
+    // Start() or mislead Drain() into its synchronous fallback. No-op.
+    return;
+  }
   if (paused_) {
     return;
   }
@@ -90,11 +96,14 @@ void BackgroundService::Resume() {
 }
 
 void BackgroundService::Notify() {
-  st_notifies_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (!running_ || stopping_) {
+      return;  // no worker to kick; don't count phantom notifies
+    }
     kicks_++;
   }
+  st_notifies_.fetch_add(1, std::memory_order_relaxed);
   cv_worker_.notify_all();
 }
 

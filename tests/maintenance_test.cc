@@ -139,6 +139,49 @@ TEST(BackgroundServiceTest, ConcurrentStopCallsAreSafe) {
   }
 }
 
+TEST(BackgroundServiceTest, PauseAndNotifyOutsideLifetimeAreNoOps) {
+  // Pause()/Notify() before Start() or after Stop() have no worker to act on
+  // and must be safe no-ops. In particular, a pre-Start Pause() must not leave
+  // a stale paused_ bit behind: it would either be dropped silently by
+  // Start() (callers believe the service is parked when it is running) or
+  // divert a later Drain() into its synchronous fallback.
+  std::atomic<uint64_t> executed{0};
+  BackgroundService::Options o;
+  o.name = "test/lifecycle-noop";
+  o.idle_min_us = 1;
+  BackgroundService svc(std::move(o), [&] {
+    executed.fetch_add(1, std::memory_order_relaxed);
+    return size_t{0};
+  });
+  // Before Start().
+  svc.Notify();
+  svc.Pause();
+  EXPECT_FALSE(svc.paused());
+  EXPECT_FALSE(svc.running());
+  EXPECT_EQ(svc.Stats().notifies, 0u);
+
+  svc.Start();
+  EXPECT_TRUE(svc.running());
+  EXPECT_FALSE(svc.paused());  // the pre-Start Pause() left nothing behind
+  svc.Notify();
+  svc.Drain([&] { return executed.load(std::memory_order_relaxed) > 0; });
+
+  svc.Stop();
+  // After Stop().
+  svc.Notify();
+  svc.Pause();
+  EXPECT_FALSE(svc.paused());
+  EXPECT_FALSE(svc.running());
+
+  // And the service must still restart cleanly afterwards.
+  svc.Start();
+  EXPECT_TRUE(svc.running());
+  svc.Pause();
+  EXPECT_TRUE(svc.paused());  // a real Pause() on a live worker still works
+  svc.Resume();
+  svc.Stop();
+}
+
 TEST(BackgroundServiceTest, DrainSurvivesConcurrentStop) {
   // A drainer parked on the pass CV must notice a concurrent Stop() even when
   // its wakeup loses the mutex race to Stop()'s final critical section (which
