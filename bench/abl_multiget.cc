@@ -1,0 +1,180 @@
+// Ablation: batched read pipeline (DESIGN.md §6f) vs per-key Lookup.
+//
+// Phase 1 (uniform): the same uniform key sequence driven once through looped
+// Lookup and once through MultiGet(batch) at the configured thread count with
+// the NVM latency model on -- the acceptance bar is >= 1.15x throughput at
+// batch=16 / 4 threads.
+//
+// Phase 2 (clustered): batches of consecutive keys (dense int keyspace, so a
+// batch lands on one or two data nodes) -- here node-grouping shows up as
+// fewer lock acquisitions + epoch enters per key (acceptance: >= 2x fewer).
+//
+// Both phases replay IDENTICAL access sequences in both modes (same RNG
+// seeds); workers are respawned per phase, so each starts with cold modeled
+// read caches.
+#include <atomic>
+#include <span>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/pactree/pactree.h"
+#include "src/runtime/workers.h"
+
+using namespace pactree;
+
+namespace {
+
+struct PhaseResult {
+  double mops = 0;
+  double locks_per_key = 0;
+  double epochs_per_key = 0;
+  double groups_per_batch = 0;
+  uint64_t group_retries = 0;
+  uint64_t ops = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
+  Banner("Ablation", "batched read pipeline: looped Lookup vs MultiGet");
+  BenchScale scale = ReadScale(1'000'000, 400'000, "4");
+  uint32_t threads = scale.threads.back();
+  const uint64_t batch = BenchReadBatch() > 1 ? BenchReadBatch() : 16;
+
+  ConfigureNvmMachine();  // latency emulation on: misses stall, prefetches don't
+  PacTree::Destroy("ablmget");
+  PacTreeOptions o;
+  o.name = "ablmget";
+  o.pool_id_base = 460;
+  o.pool_size = std::max<size_t>(512ULL << 20, scale.keys * 3072 * 2);
+  auto tree = PacTree::Open(o);
+  if (tree == nullptr) {
+    return 1;
+  }
+  // Dense integer keys (NOT the mixed KeySet universe): the clustered phase
+  // needs "base..base+15" to be adjacent in key order so a batch covers one
+  // or two data nodes.
+  RunWorkerThreads(threads, [&](uint32_t t) {
+    AssignWorkerThread(t);
+    uint64_t from = scale.keys * t / threads;
+    uint64_t to = scale.keys * (t + 1) / threads;
+    for (uint64_t i = from; i < to; ++i) {
+      tree->Insert(Key::FromInt(i), i + 1);
+    }
+  });
+  tree->DrainSmoLogs();
+
+  // One phase: every worker replays per/batch batches; |clustered| batches
+  // are |batch| consecutive keys from a random base, uniform batches are
+  // independent picks. |batched| switches MultiGet vs a per-key loop over
+  // the very same keys.
+  auto run_phase = [&](bool batched, bool clustered) {
+    PhaseResult res;
+    PacTreeStats s0 = tree->Stats();
+    std::atomic<bool> start{false};
+    uint64_t t0 = 0;
+    const uint64_t per = scale.ops / threads / batch * batch;
+    RunWorkerThreads(
+        threads,
+        [&](uint32_t t) {
+          AssignWorkerThread(t);
+          Rng rng(777 * t + 13);  // same sequence in both modes
+          std::vector<Key> kb(batch);
+          std::vector<uint64_t> vb(batch);
+          std::vector<Status> sb(batch);
+          while (!start.load(std::memory_order_acquire)) {
+            CpuRelax();
+          }
+          for (uint64_t b = 0; b < per / batch; ++b) {
+            if (clustered) {
+              uint64_t base = rng.Uniform(scale.keys - batch);
+              for (uint64_t j = 0; j < batch; ++j) {
+                kb[j] = Key::FromInt(base + j);
+              }
+            } else {
+              for (uint64_t j = 0; j < batch; ++j) {
+                kb[j] = Key::FromInt(rng.Uniform(scale.keys));
+              }
+            }
+            if (batched) {
+              tree->MultiGet(std::span<const Key>(kb.data(), kb.size()),
+                             vb.data(), sb.data());
+            } else {
+              for (uint64_t j = 0; j < batch; ++j) {
+                uint64_t v;
+                tree->Lookup(kb[j], &v);
+              }
+            }
+          }
+        },
+        [&] {
+          t0 = NowNs();
+          start.store(true, std::memory_order_release);
+        });
+    double secs = static_cast<double>(NowNs() - t0) / 1e9;
+    PacTreeStats s1 = tree->Stats();
+    res.ops = per * threads;
+    res.mops = static_cast<double>(res.ops) / 1e6 / secs;
+    double n = static_cast<double>(res.ops);
+    res.locks_per_key = static_cast<double>(s1.node_locks - s0.node_locks) / n;
+    res.epochs_per_key = static_cast<double>(s1.epoch_enters - s0.epoch_enters) / n;
+    uint64_t batches = s1.multiget_batches - s0.multiget_batches;
+    if (batches > 0) {
+      res.groups_per_batch =
+          static_cast<double>(s1.multiget_node_groups - s0.multiget_node_groups) /
+          static_cast<double>(batches);
+    }
+    res.group_retries = s1.multiget_group_retries - s0.multiget_group_retries;
+    return res;
+  };
+
+  std::printf("%-10s %-8s %8s %10s %11s %12s %14s\n", "phase", "mode", "Mops/s",
+              "locks/key", "epochs/key", "groups/batch", "group_retries");
+  auto print = [&](const char* phase, const char* mode, const PhaseResult& r) {
+    std::printf("%-10s %-8s %8.3f %10.3f %11.3f %12.2f %14llu\n", phase, mode,
+                r.mops, r.locks_per_key, r.epochs_per_key, r.groups_per_batch,
+                static_cast<unsigned long long>(r.group_retries));
+    std::fflush(stdout);
+    BenchJsonAdd(JsonRow()
+                     .Str("phase", phase)
+                     .Str("mode", mode)
+                     .U64("threads", threads)
+                     .U64("batch", batch)
+                     .U64("ops", r.ops)
+                     .F64("mops", r.mops)
+                     .F64("locks_per_key", r.locks_per_key)
+                     .F64("epochs_per_key", r.epochs_per_key)
+                     .F64("groups_per_batch", r.groups_per_batch)
+                     .U64("group_retries", r.group_retries));
+  };
+
+  PhaseResult ul = run_phase(/*batched=*/false, /*clustered=*/false);
+  print("uniform", "looped", ul);
+  PhaseResult ub = run_phase(/*batched=*/true, /*clustered=*/false);
+  print("uniform", "batched", ub);
+  double speedup = ub.mops / ul.mops;
+  std::printf("# uniform speedup: %.2fx (acceptance: >= 1.15x at batch=16, 4 threads)\n",
+              speedup);
+
+  PhaseResult cl = run_phase(/*batched=*/false, /*clustered=*/true);
+  print("clustered", "looped", cl);
+  PhaseResult cb = run_phase(/*batched=*/true, /*clustered=*/true);
+  print("clustered", "batched", cb);
+  double amort = (cl.locks_per_key + cl.epochs_per_key) /
+                 (cb.locks_per_key + cb.epochs_per_key);
+  std::printf("# clustered lock+epoch amortization: %.2fx fewer per key "
+              "(acceptance: >= 2x)\n", amort);
+
+  BenchJsonAdd(JsonRow()
+                   .Str("phase", "summary")
+                   .F64("uniform_speedup", speedup)
+                   .F64("clustered_amortization", amort));
+  BenchJsonWrite("abl_multiget");
+  tree.reset();
+  EpochManager::Instance().DrainAll();
+  PacTree::Destroy("ablmget");
+  return speedup >= 1.15 && amort >= 2.0 ? 0 : 1;
+}

@@ -25,6 +25,28 @@
 
 namespace pactree {
 
+// Flag/config state shared by every figure binary (set by ParseBenchFlags).
+inline std::string& BenchJsonPath() {
+  static std::string path;  // empty = no JSON output
+  return path;
+}
+inline uint64_t& BenchReadBatch() {
+  static uint64_t batch = 1;  // 1 = per-key ops; >1 = MultiGet/MultiScan
+  return batch;
+}
+inline bool& BenchPinEnabled() {
+  static bool pin = false;
+  return pin;
+}
+
+inline constexpr bool BenchSimdFingerprints() {
+#if defined(PACTREE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
 // Flags shared by every figure binary:
 //   --pin         pin worker threads to CPUs, round-robin across the logical
 //                 NUMA nodes (also enabled by PAC_PIN=1). Placement is
@@ -36,8 +58,15 @@ namespace pactree {
 //   --absorb      route PACTree writes through the DRAM absorb buffer
 //                 (src/absorb): per-NUMA shards + persistent op-log, batched
 //                 sorted drains (also enabled by PAC_ABSORB=1).
+//   --batch=N     drive read-heavy YCSB phases through the batched read
+//                 pipeline: lookups buffer into MultiGet(N) and scans into
+//                 MultiScan(N) (also settable via PAC_BATCH).
+//   --json=PATH   append one machine-readable JSON document per binary run to
+//                 PATH (throughput, media bytes/op, latency percentiles, and
+//                 each index's StatsJson counters) for perf trajectories.
 inline void ParseBenchFlags(int argc, char** argv) {
   bool pin = EnvU64("PAC_PIN", 0) != 0;
+  BenchReadBatch() = std::max<uint64_t>(1, EnvU64("PAC_BATCH", 1));
   for (int i = 1; i < argc; ++i) {
     std::string arg(argv[i]);
     if (arg == "--pin") {
@@ -48,9 +77,14 @@ inline void ParseBenchFlags(int argc, char** argv) {
       setenv("PAC_UPDATERS", arg.substr(11).c_str(), 1);
     } else if (arg == "--absorb") {
       setenv("PAC_ABSORB", "1", 1);  // same env-var resolution path
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      BenchReadBatch() = std::max<uint64_t>(1, std::strtoull(arg.substr(8).c_str(), nullptr, 10));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      BenchJsonPath() = arg.substr(7);
     }
   }
   SetThreadPinning(pin);
+  BenchPinEnabled() = pin;
 }
 
 struct BenchScale {
@@ -91,7 +125,109 @@ inline void ConfigureNvmMachine(bool latency = true, bool bandwidth = false) {
 inline void Banner(const char* fig, const char* what) {
   std::printf("# %s -- %s\n", fig, what);
   std::printf("# scale: PAC_KEYS / PAC_OPS / PAC_THREADS environment variables\n");
+  // A/B hygiene: numbers are meaningless without knowing whether the SIMD
+  // fingerprint probe was compiled in and how the run was configured.
+  std::printf("# config: fingerprints=%s pin=%d absorb=%s updaters=%s batch=%llu\n",
+              BenchSimdFingerprints() ? "avx2" : "scalar",
+              BenchPinEnabled() ? 1 : 0,
+              EnvU64("PAC_ABSORB", 0) != 0 ? "on" : "off",
+              EnvStr("PAC_UPDATERS", "auto").c_str(),
+              static_cast<unsigned long long>(BenchReadBatch()));
   std::fflush(stdout);
+}
+
+// --- machine-readable perf baselines (--json=PATH) --------------------------
+// Benches build one JsonRow per measured run, then BenchJsonWrite() renders
+// {"bench":..., "config":{...}, "rows":[...]} to the --json path at exit.
+
+class JsonRow {
+ public:
+  JsonRow& U64(const char* k, uint64_t v) { return Raw(k, std::to_string(v)); }
+  JsonRow& F64(const char* k, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return Raw(k, buf);
+  }
+  JsonRow& Str(const char* k, const std::string& v) {
+    return Raw(k, "\"" + v + "\"");
+  }
+  // |json| must already be a rendered JSON value (e.g. RangeIndex::StatsJson).
+  JsonRow& Raw(const char* k, const std::string& json) {
+    if (!body_.empty()) {
+      body_ += ",";
+    }
+    body_ += "\"";
+    body_ += k;
+    body_ += "\":";
+    body_ += json;
+    return *this;
+  }
+  std::string Render() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+inline std::vector<std::string>& BenchJsonRows() {
+  static std::vector<std::string> rows;
+  return rows;
+}
+
+inline void BenchJsonAdd(const JsonRow& row) {
+  if (!BenchJsonPath().empty()) {
+    BenchJsonRows().push_back(row.Render());
+  }
+}
+
+inline void BenchJsonWrite(const char* bench) {
+  if (BenchJsonPath().empty()) {
+    return;
+  }
+  std::FILE* f = std::fopen(BenchJsonPath().c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", BenchJsonPath().c_str());
+    return;
+  }
+  JsonRow config;
+  config.Str("fingerprints", BenchSimdFingerprints() ? "avx2" : "scalar")
+      .U64("pin", BenchPinEnabled() ? 1 : 0)
+      .U64("absorb", EnvU64("PAC_ABSORB", 0) != 0 ? 1 : 0)
+      .Str("updaters", EnvStr("PAC_UPDATERS", "auto"))
+      .U64("batch", BenchReadBatch());
+  std::fprintf(f, "{\"bench\":\"%s\",\"config\":%s,\"rows\":[", bench,
+               config.Render().c_str());
+  for (size_t i = 0; i < BenchJsonRows().size(); ++i) {
+    std::fprintf(f, "%s%s", i == 0 ? "" : ",", BenchJsonRows()[i].c_str());
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("# json: %s (%zu rows)\n", BenchJsonPath().c_str(),
+              BenchJsonRows().size());
+}
+
+// The standard JSON row for one YCSB run phase: throughput, media bytes/op,
+// latency percentiles, and the index's own counters.
+inline JsonRow YcsbJsonRow(const std::string& index_name, const YcsbSpec& spec,
+                           const YcsbResult& r, const RangeIndex* index) {
+  JsonRow row;
+  double ops = static_cast<double>(r.ops == 0 ? 1 : r.ops);
+  row.Str("index", index_name)
+      .Str("workload", YcsbKindName(spec.kind))
+      .U64("threads", spec.threads)
+      .U64("keys", spec.record_count)
+      .U64("ops", r.ops)
+      .U64("batch", spec.read_batch)
+      .U64("zipfian", spec.zipfian ? 1 : 0)
+      .F64("mops", r.mops)
+      .F64("read_bytes_per_op", static_cast<double>(r.nvm.media_read_bytes) / ops)
+      .F64("write_bytes_per_op", static_cast<double>(r.nvm.media_write_bytes) / ops)
+      .U64("read_prefetches", r.nvm.read_prefetches)
+      .U64("p50_ns", r.latency.Percentile(50))
+      .U64("p99_ns", r.latency.Percentile(99));
+  if (index != nullptr) {
+    row.Raw("index_stats", index->StatsJson());
+  }
+  return row;
 }
 
 // Creates + loads an index, returning it ready for a run phase.

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
       spec.threads = threads;
       spec.string_keys = strings;
       spec.zipfian = false;  // the paper's Figure 4 uses uniform lookups
+      spec.read_batch = BenchReadBatch();
       auto index = MakeLoaded(kind, spec);
       if (index == nullptr) {
         return 1;
@@ -53,10 +54,12 @@ int main(int argc, char** argv) {
                   static_cast<double>(r.nvm.media_read_bytes) /
                       static_cast<double>(r.ops));
       std::fflush(stdout);
+      BenchJsonAdd(YcsbJsonRow(index->Name(), spec, r, index.get()));
       CleanupIndex(std::move(index), kind);
     }
   }
   std::printf("# paper shape: FastFair reads ~7.7x more NVM for string keys;"
               " PDL-ART ~3.7x higher lookup throughput\n");
+  BenchJsonWrite("fig04_lookup_bw");
   return 0;
 }

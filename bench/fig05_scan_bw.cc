@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
     spec.string_keys = false;
     spec.zipfian = false;
     spec.scan_max_len = 100;
+    spec.read_batch = BenchReadBatch();
     auto index = MakeLoaded(kind, spec);
     if (index == nullptr) {
       return 1;
@@ -33,8 +34,10 @@ int main(int argc, char** argv) {
                 r.mops * 1000, static_cast<double>(r.nvm.media_read_bytes) / 1e9,
                 static_cast<double>(r.nvm.media_read_bytes) / static_cast<double>(r.ops));
     std::fflush(stdout);
+    BenchJsonAdd(YcsbJsonRow(index->Name(), spec, r, index.get()));
     CleanupIndex(std::move(index), kind);
   }
   std::printf("# paper shape: FastFair ~1.5x faster scans with ~1.6x fewer reads\n");
+  BenchJsonWrite("fig05_scan_bw");
   return 0;
 }

@@ -44,6 +44,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -190,6 +191,13 @@ class AbsorbBuffer {
   // Consults the key's owning shard. kMiss => caller falls through to the
   // data layer.
   Hit Lookup(const Key& key, uint64_t* value) const;
+
+  // Batched Lookup for the MultiGet pipeline: routes every key to its owning
+  // shard first, then takes each involved shard's mutex ONCE and probes all
+  // of that shard's keys under it. hits[i]/values[i] end up exactly as
+  // Lookup(keys[i], &values[i]) would leave them (values[i] written only on
+  // kValue). Returns the number of keys answered (kValue or kTombstone).
+  size_t MultiLookup(std::span<const Key> keys, Hit* hits, uint64_t* values) const;
 
   // Snapshot of every pending op with key >= |start| across all shards, for
   // Scan's staging/data-layer merge.

@@ -745,11 +745,44 @@ bool PdlArt::SubtreeMax(uint64_t raw, Key* found, uint64_t* value, bool* ok) con
 
 Status PdlArt::LookupFloor(const Key& key, Key* found, uint64_t* value) const {
   EpochGuard guard;
+  return LookupFloorNoGuard(key, found, value);
+}
+
+Status PdlArt::LookupFloorNoGuard(const Key& key, Key* found, uint64_t* value) const {
   Status result = Status::kNotFound;
   while (!FloorAttempt(key, found, value, &result)) {
     restarts_.fetch_add(1, std::memory_order_relaxed);
   }
   return result;
+}
+
+void PdlArt::PrefetchFloorPath(const Key& key, int max_levels) const {
+  // Advisory only: no ReadLock, no Validate. Prefixes are immutable after
+  // construction and child slots are 8-byte valid-or-null words, so every
+  // pointer this walk chases is a node that is (or recently was) reachable;
+  // the epoch guard the caller holds keeps retired nodes mapped. A racing
+  // writer can at worst send the walk down a stale path, warming lines the
+  // validated walk will not touch.
+  ArtNode* node = RootNode();
+  uint32_t depth = 0;
+  for (int level = 0; level < max_levels && node != nullptr; ++level) {
+    AnnotateNvmPrefetch(node, 128);
+    uint32_t plen = node->prefix_len;
+    depth += plen;
+    if (plen > Key::kMaxLen || depth >= Key::kMaxLen) {
+      return;
+    }
+    uint64_t child = ArtFindChild(node, key.At(depth));
+    if (child == 0) {
+      return;
+    }
+    if (ArtIsLeaf(child)) {
+      AnnotateNvmPrefetch(LeafOf(child), sizeof(ArtLeaf));
+      return;
+    }
+    node = NodeOf(child);
+    depth += 1;
+  }
 }
 
 bool PdlArt::FloorAttempt(const Key& key, Key* found, uint64_t* value,

@@ -39,8 +39,53 @@ class PacTreeIndex : public RangeIndex {
               std::vector<std::pair<Key, uint64_t>>* out) const override {
     return tree_->Scan(s, n, out);
   }
+  size_t MultiGet(std::span<const Key> keys, uint64_t* values,
+                  Status* statuses) const override {
+    return tree_->MultiGet(keys, values, statuses);
+  }
+  void MultiScan(std::span<const Key> starts, std::span<const size_t> counts,
+                 std::vector<std::vector<std::pair<Key, uint64_t>>>* out)
+      const override {
+    tree_->MultiScan(starts, counts, out);
+  }
   uint64_t Size() const override { return tree_->Size(); }
   std::string Name() const override { return "PACTree"; }
+  std::string StatsJson() const override {
+    PacTreeStats s = tree_->Stats();
+    std::string j = "{";
+    auto field = [&j](const char* k, uint64_t v) {
+      if (j.size() > 1) {
+        j += ",";
+      }
+      j += "\"";
+      j += k;
+      j += "\":";
+      j += std::to_string(v);
+    };
+    field("splits", s.splits);
+    field("merges", s.merges);
+    field("smo_applied", s.smo_applied);
+    field("retries", s.retries);
+    field("epoch_enters", s.epoch_enters);
+    field("node_locks", s.node_locks);
+    field("multiget_batches", s.multiget_batches);
+    field("multiget_keys", s.multiget_keys);
+    field("multiget_node_groups", s.multiget_node_groups);
+    field("multiget_group_retries", s.multiget_group_retries);
+    field("multiscan_batches", s.multiscan_batches);
+    field("absorb_staged", s.absorb.staged);
+    field("absorb_drained", s.absorb.drained);
+    field("absorb_lookup_hits", s.absorb.lookup_hits);
+    j += ",\"hop_hist\":[";
+    for (int i = 0; i < kHopHistBuckets; ++i) {
+      if (i > 0) {
+        j += ",";
+      }
+      j += std::to_string(s.hop_hist[i]);
+    }
+    j += "]}";
+    return j;
+  }
   void Drain() override {
     // Absorb first: drained batches may log SMOs.
     tree_->DrainAbsorb();

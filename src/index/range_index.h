@@ -5,6 +5,7 @@
 #define PACTREE_SRC_INDEX_RANGE_INDEX_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,8 +29,52 @@ class RangeIndex {
   virtual size_t Scan(const Key& start, size_t count,
                       std::vector<std::pair<Key, uint64_t>>* out) const = 0;
 
+  // --- batched read pipeline ----------------------------------------------
+  // Point-looks-up every key of |keys| in one call. |values| and |statuses|
+  // (when non-null) must each have room for keys.size() elements; statuses[i]
+  // is kOk/kNotFound exactly as the per-key Lookup would report, values[i] is
+  // filled on kOk. Duplicate and out-of-order keys are allowed. Returns the
+  // number of keys found. The default loops over Lookup, so every index works
+  // through the batch harness unchanged; PACTree overrides it with a real
+  // pipeline (batched absorb routing, one epoch for the batch, node-grouped
+  // probing -- see src/pactree/multiget.cc).
+  virtual size_t MultiGet(std::span<const Key> keys, uint64_t* values,
+                          Status* statuses) const {
+    size_t found = 0;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      uint64_t v = 0;
+      Status s = Lookup(keys[i], &v);
+      if (s == Status::kOk) {
+        ++found;
+        if (values != nullptr) {
+          values[i] = v;
+        }
+      }
+      if (statuses != nullptr) {
+        statuses[i] = s;
+      }
+    }
+    return found;
+  }
+
+  // Runs starts.size() range scans; out->at(i) receives up to counts[i] pairs
+  // with key >= starts[i], exactly as the per-start Scan would. The default
+  // loops over Scan; PACTree amortizes the epoch entry and processes starts
+  // in ascending key order.
+  virtual void MultiScan(std::span<const Key> starts, std::span<const size_t> counts,
+                         std::vector<std::vector<std::pair<Key, uint64_t>>>* out) const {
+    out->resize(starts.size());
+    for (size_t i = 0; i < starts.size(); ++i) {
+      Scan(starts[i], counts[i], &(*out)[i]);
+    }
+  }
+
   virtual uint64_t Size() const = 0;
   virtual std::string Name() const = 0;
+  // Machine-readable per-index counters for the bench JSON emitter
+  // (bench_common.h --json): one JSON object literal; "{}" when the index
+  // exports nothing. PACTree reports hop/retry/batch-pipeline counters here.
+  virtual std::string StatsJson() const { return "{}"; }
   virtual bool SupportsStringKeys() const { return true; }
   // Flushes background work (PACTree's SMO logs) before measurement phases.
   virtual void Drain() {}

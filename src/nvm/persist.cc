@@ -171,6 +171,58 @@ void AnnotateNvmRead(const void* p, size_t n) {
   }
 }
 
+void AnnotateNvmPrefetch(const void* p, size_t n) {
+  if (n == 0) {
+    return;
+  }
+  uintptr_t cl_start = CacheLineOf(p);
+  uintptr_t cl_end = reinterpret_cast<uintptr_t>(p) + n;
+  for (uintptr_t line = cl_start; line < cl_end; line += kCacheLineSize) {
+    __builtin_prefetch(reinterpret_cast<const void*>(line), 0 /*read*/, 1);
+  }
+  NvmRange range;
+  if (!LookupNvmRange(p, &range)) {
+    return;  // DRAM-resident object: host prefetch only, nothing to model
+  }
+  const NvmConfig& cfg = GlobalNvmConfig();
+  NvmDomain& dom = LocalNvmState().DomainFor(range.pool_id);
+  NvmThreadCounters& c = dom.counters;
+  MediaModel& m = dom.media;
+  m.EnsureSized();
+
+  bool remote = range.node != CurrentNumaNode();
+  bool directory = cfg.coherence == CoherenceProtocol::kDirectory;
+
+  uintptr_t start = XpLineOf(reinterpret_cast<uintptr_t>(p));
+  uintptr_t end = reinterpret_cast<uintptr_t>(p) + n;
+  for (uintptr_t xp = start; xp < end; xp += kXpLineSize) {
+    if (m.ReadCacheLookupInsert(xp)) {
+      continue;  // already cached: the prefetch is a no-op at the media
+    }
+    // The fetch still moves a full XPLine from the media (and, under the
+    // directory protocol, still dirties coherence state) -- prefetching only
+    // overlaps the latency, it does not reduce traffic. Deliberately NOT
+    // counted as a read miss and never SpinNs-stalled: the caller overlaps
+    // the fetch with other work before touching the line.
+    c.read_prefetches++;
+    c.media_read_bytes += kXpLineSize;
+    m.last_miss_line = xp;
+    if (remote) {
+      c.remote_reads++;
+      if (directory) {
+        c.directory_writes++;
+        c.media_write_bytes += kCacheLineSize;
+      }
+    }
+    if (cfg.emulate_bandwidth) {
+      BandwidthModel::Instance().ConsumeRead(range.node, kXpLineSize);
+      if (remote && directory) {
+        BandwidthModel::Instance().ConsumeWrite(range.node, kCacheLineSize);
+      }
+    }
+  }
+}
+
 void DropThreadReadCache() {
   NvmThreadState& state = LocalNvmState();
   state.unattributed.media.Reset();

@@ -46,6 +46,16 @@ inline void AtomicStorePersist(std::atomic<uint64_t>* word, uint64_t value,
 // Declares that the caller read [p, p+n) from NVM (media model + stats).
 void AnnotateNvmRead(const void* p, size_t n);
 
+// Declares a *software prefetch* of [p, p+n): issues the real
+// __builtin_prefetch per cache line and models an overlapped media fetch --
+// XPLines not already in the thread's modeled CPU cache are inserted and
+// charged as media read traffic (and bandwidth), but the calling thread is
+// never stalled. The later AnnotateNvmRead of the same lines then hits the
+// modeled cache, which is how a correctly pipelined reader (one key path of
+// work between prefetch and use, bounding outstanding fetches to what the
+// XPPrefetcher queues absorb) hides media latency in this model.
+void AnnotateNvmPrefetch(const void* p, size_t n);
+
 // Bumps the fence counter only (used by code paths that batch flushes).
 void CountFenceOnly();
 

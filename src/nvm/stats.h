@@ -25,6 +25,7 @@ struct NvmStatsSnapshot {
   uint64_t fences = 0;              // sfence-equivalent operations
   uint64_t read_hits = 0;           // satisfied by the modeled CPU cache
   uint64_t read_misses = 0;
+  uint64_t read_prefetches = 0;     // XPLines fetched by software prefetch
   uint64_t remote_reads = 0;        // cross-NUMA XPLine fetches
   uint64_t remote_writes = 0;
   uint64_t directory_writes = 0;    // FH5: media writes caused by remote reads
@@ -39,6 +40,7 @@ struct NvmStatsSnapshot {
     d.fences = fences - o.fences;
     d.read_hits = read_hits - o.read_hits;
     d.read_misses = read_misses - o.read_misses;
+    d.read_prefetches = read_prefetches - o.read_prefetches;
     d.remote_reads = remote_reads - o.remote_reads;
     d.remote_writes = remote_writes - o.remote_writes;
     d.directory_writes = directory_writes - o.directory_writes;
@@ -54,6 +56,7 @@ struct NvmStatsSnapshot {
     fences += o.fences;
     read_hits += o.read_hits;
     read_misses += o.read_misses;
+    read_prefetches += o.read_prefetches;
     remote_reads += o.remote_reads;
     remote_writes += o.remote_writes;
     directory_writes += o.directory_writes;
@@ -89,6 +92,7 @@ struct NvmThreadCounters {
   RelaxedCounter fences;
   RelaxedCounter read_hits;
   RelaxedCounter read_misses;
+  RelaxedCounter read_prefetches;
   RelaxedCounter remote_reads;
   RelaxedCounter remote_writes;
   RelaxedCounter directory_writes;
@@ -102,6 +106,7 @@ struct NvmThreadCounters {
     s->fences += fences.load();
     s->read_hits += read_hits.load();
     s->read_misses += read_misses.load();
+    s->read_prefetches += read_prefetches.load();
     s->remote_reads += remote_reads.load();
     s->remote_writes += remote_writes.load();
     s->directory_writes += directory_writes.load();

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "src/common/key.h"
+#include "src/nvm/persist.h"
 #include "src/pmem/pptr.h"
 #include "src/sync/version_lock.h"
 
@@ -64,6 +65,13 @@ struct DataNode {
   // Computes the sorted order of live slots into |out| (up to 64 entries);
   // returns the count. Pure function of the current slot contents.
   int ComputeSortedOrder(uint8_t* out) const;
+
+  // Software-prefetches everything a FindKey probe reads before the slot
+  // compare -- metadata (lock/bitmap/links), anchor, and the fingerprint
+  // array, i.e. the node's first XPLine. The batched read pipeline issues
+  // this one node ahead of the probe so the modeled media fetch overlaps
+  // useful work (see AnnotateNvmPrefetch).
+  void PrefetchProbe() const { AnnotateNvmPrefetch(this, 256); }
 
   DataNode* Next() const { return PPtr<DataNode>(NextRaw()).get(); }
   DataNode* Prev() const { return PPtr<DataNode>(PrevRaw()).get(); }

@@ -1,0 +1,216 @@
+// Batched point-read pipeline (DESIGN.md §6f).
+//
+// PacTree::Lookup pays three per-key costs: an absorb shard-lock, an
+// EpochGuard enter/exit, and an ART descent followed by a version-validated
+// data-node probe. MultiGet amortizes all three across a batch:
+//
+//   Stage 1 -- absorb routing: AbsorbBuffer::MultiLookup routes every key to
+//   its owning shard and takes each involved shard's mutex ONCE, answering
+//   staged values and tombstones exactly as the per-key Lookup would.
+//
+//   Stage 2 -- floor resolution: ONE EpochGuard covers the rest of the batch.
+//   The remaining (miss) keys are sorted and their ART floors resolved in a
+//   software-pipelined loop: before resolving key j, key j+1's trie path is
+//   prefetched (PdlArt::PrefetchFloorPath -> AnnotateNvmPrefetch warms the
+//   modeled XPLine cache without stalling), and each resolved floor node's
+//   metadata/anchor/fingerprint XPLine is prefetched for stage 3. One key's
+//   worth of work always sits between a prefetch and its use, which is the
+//   overlap window the non-stalling prefetch model assumes.
+//
+//   Stage 3 -- node-grouped probing: because the miss keys are sorted, keys
+//   owned by one data node are contiguous. Each group jump-walks once
+//   (JumpWalk re-uses the stage-2 floor as its start), reads the sibling's
+//   anchor as the group's upper bound, fingerprint-probes every key of the
+//   group, and validates the node version ONCE. Validation failure retries
+//   that group only.
+//
+// Safety of the group upper bound: anchors are immutable after node creation
+// and the epoch guard keeps any node reachable through next_raw mapped, so
+// reading next->anchor before validation is safe; if a concurrent split or
+// merge changed the linkage after JumpWalk's token was taken, the single
+// Validate fails and the group re-walks. This is exactly the optimistic
+// read protocol of LookupBase, applied once per group instead of per key.
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/nvm/persist.h"
+#include "src/pactree/pac_root.h"
+#include "src/pactree/pactree.h"
+#include "src/sync/epoch.h"
+
+namespace pactree {
+
+size_t PacTree::MultiGet(std::span<const Key> keys, uint64_t* values,
+                         Status* statuses) const {
+  const size_t n = keys.size();
+  if (n == 0) {
+    return 0;
+  }
+  stat_multiget_batches_.fetch_add(1, std::memory_order_relaxed);
+  stat_multiget_keys_.fetch_add(n, std::memory_order_relaxed);
+
+  std::vector<Status> local_status;
+  Status* st = statuses;
+  if (st == nullptr) {
+    local_status.resize(n);
+    st = local_status.data();
+  }
+
+  // --- stage 1: absorb routing --------------------------------------------
+  size_t found = 0;
+  std::vector<size_t> miss;
+  miss.reserve(n);
+  if (absorb_ != nullptr) {
+    std::vector<AbsorbBuffer::Hit> hits(n);
+    absorb_->MultiLookup(keys, hits.data(), values);
+    for (size_t i = 0; i < n; ++i) {
+      switch (hits[i]) {
+        case AbsorbBuffer::Hit::kValue:
+          st[i] = Status::kOk;
+          ++found;
+          break;
+        case AbsorbBuffer::Hit::kTombstone:
+          st[i] = Status::kNotFound;
+          break;
+        case AbsorbBuffer::Hit::kMiss:
+          miss.push_back(i);
+          break;
+      }
+    }
+  } else {
+    miss.resize(n);
+    std::iota(miss.begin(), miss.end(), size_t{0});
+  }
+  if (miss.empty()) {
+    return found;
+  }
+
+  stat_epoch_enters_.fetch_add(1, std::memory_order_relaxed);
+  EpochGuard guard;
+
+  // Sort the misses by key (ties by position, so duplicate keys resolve
+  // deterministically and stay adjacent within their group).
+  std::sort(miss.begin(), miss.end(), [&keys](size_t a, size_t b) {
+    if (keys[a] < keys[b]) {
+      return true;
+    }
+    if (keys[b] < keys[a]) {
+      return false;
+    }
+    return a < b;
+  });
+
+  // --- stage 2: software-pipelined floor resolution ------------------------
+  // floor[j] = trie floor node for keys[miss[j]] (JumpWalk's start). The
+  // first key's descent runs cold; every later descent runs against the
+  // lines its predecessor's iteration prefetched.
+  std::vector<DataNode*> floor(miss.size());
+  for (size_t j = 0; j < miss.size(); ++j) {
+    if (j + 1 < miss.size()) {
+      art_->PrefetchFloorPath(keys[miss[j + 1]]);
+    }
+    Key fkey;
+    uint64_t raw = 0;
+    DataNode* node = nullptr;
+    if (art_->LookupFloorNoGuard(keys[miss[j]], &fkey, &raw) == Status::kOk &&
+        raw != 0) {
+      node = PPtr<DataNode>(raw).get();
+    } else {
+      node = PPtr<DataNode>(root_->head_raw).get();
+    }
+    node->PrefetchProbe();
+    floor[j] = node;
+  }
+
+  // --- stage 3: node-grouped probing ---------------------------------------
+  struct Probe {
+    uint64_t value;
+    bool hit;
+  };
+  std::vector<Probe> probe;
+  size_t g = 0;
+  while (g < miss.size()) {
+    const Key& gkey = keys[miss[g]];
+    while (true) {
+      uint64_t version;
+      DataNode* node = JumpWalk(floor[g], gkey, &version);
+      // Group upper bound = right sibling's anchor (safe pre-validation: see
+      // file comment). An unbounded (tail) node owns every remaining key.
+      uint64_t next_raw = node->NextRaw();
+      DataNode* next = PPtr<DataNode>(next_raw).get();
+      size_t gend = g + 1;
+      while (gend < miss.size() &&
+             (next == nullptr || keys[miss[gend]] < next->anchor)) {
+        ++gend;
+      }
+      probe.resize(gend - g);
+      for (size_t j = g; j < gend; ++j) {
+        const Key& k = keys[miss[j]];
+        int slot = node->FindKey(k, k.Fingerprint());
+        uint64_t v = 0;
+        if (slot >= 0) {
+          AnnotateNvmRead(&node->values[slot], sizeof(uint64_t));
+          v = std::atomic_ref<uint64_t>(node->values[slot])
+                  .load(std::memory_order_acquire);
+        }
+        probe[j - g] = {v, slot >= 0};
+      }
+      if (!node->lock.Validate(version)) {
+        stat_multiget_group_retries_.fetch_add(1, std::memory_order_relaxed);
+        stat_retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;  // re-walk this group; JumpWalk absorbs any relink
+      }
+      stat_multiget_node_groups_.fetch_add(1, std::memory_order_relaxed);
+      for (size_t j = g; j < gend; ++j) {
+        size_t i = miss[j];
+        if (probe[j - g].hit) {
+          st[i] = Status::kOk;
+          if (values != nullptr) {
+            values[i] = probe[j - g].value;
+          }
+          ++found;
+        } else {
+          st[i] = Status::kNotFound;
+        }
+      }
+      if (gend < miss.size()) {
+        floor[gend]->PrefetchProbe();  // overlap the next group's walk
+      }
+      g = gend;
+      break;
+    }
+  }
+  return found;
+}
+
+void PacTree::MultiScan(std::span<const Key> starts, std::span<const size_t> counts,
+                        std::vector<std::vector<std::pair<Key, uint64_t>>>* out) const {
+  out->resize(starts.size());
+  if (starts.empty()) {
+    return;
+  }
+  stat_multiscan_batches_.fetch_add(1, std::memory_order_relaxed);
+  // Ascending start order maximizes modeled-cache reuse between adjacent
+  // ranges; the outer guard makes each inner scan's EpochGuard a cheap
+  // nested enter.
+  std::vector<size_t> order(starts.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&starts](size_t a, size_t b) {
+    if (starts[a] < starts[b]) {
+      return true;
+    }
+    if (starts[b] < starts[a]) {
+      return false;
+    }
+    return a < b;
+  });
+  stat_epoch_enters_.fetch_add(1, std::memory_order_relaxed);
+  EpochGuard guard;
+  for (size_t i : order) {
+    Scan(starts[i], counts[i], &(*out)[i]);
+  }
+}
+
+}  // namespace pactree

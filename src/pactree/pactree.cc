@@ -236,16 +236,20 @@ bool PacTree::AbsorbDrained() const {
 DataNode* PacTree::FindDataNode(const Key& key, uint64_t* version) const {
   Key found;
   uint64_t raw = 0;
-  DataNode* node;
+  DataNode* node = nullptr;
   Status fs = art_->LookupFloor(key, &found, &raw);
   if (fs == Status::kOk && raw != 0) {
     node = PPtr<DataNode>(raw).get();
-  } else {
-    node = PPtr<DataNode>(root_->head_raw).get();
   }
+  return JumpWalk(node, key, version);
+}
+
+DataNode* PacTree::JumpWalk(DataNode* start, const Key& key, uint64_t* version) const {
+  DataNode* node = start != nullptr ? start : PPtr<DataNode>(root_->head_raw).get();
   uint32_t hops = 0;
   while (true) {
     uint64_t v = node->lock.ReadLock();
+    stat_node_locks_.fetch_add(1, std::memory_order_relaxed);
     AnnotateNvmRead(node, 256);  // metadata + anchor + fingerprints
     if (node->IsDeleted()) {
       DataNode* prev = node->Prev();
@@ -277,7 +281,8 @@ DataNode* PacTree::FindDataNode(const Key& key, uint64_t* version) const {
     if (!node->lock.Validate(v)) {
       continue;
     }
-    stat_hops_[hops < 3 ? hops : 3].fetch_add(1, std::memory_order_relaxed);
+    int bucket = hops < kHopHistBuckets - 1 ? static_cast<int>(hops) : kHopHistBuckets - 1;
+    stat_hops_[bucket].fetch_add(1, std::memory_order_relaxed);
     *version = v;
     return node;
   }
@@ -308,6 +313,7 @@ Status PacTree::Lookup(const Key& key, uint64_t* value) const {
 }
 
 Status PacTree::LookupBase(const Key& key, uint64_t* value) const {
+  stat_epoch_enters_.fetch_add(1, std::memory_order_relaxed);
   EpochGuard guard;
   uint8_t fingerprint = key.Fingerprint();
   while (true) {
@@ -672,6 +678,7 @@ size_t PacTree::Scan(const Key& start, size_t count,
 
 size_t PacTree::ScanBase(const Key& start, size_t count,
                          std::vector<std::pair<Key, uint64_t>>* out) const {
+  stat_epoch_enters_.fetch_add(1, std::memory_order_relaxed);
   EpochGuard guard;
   out->clear();
   Key cursor = start;  // smallest key still wanted
@@ -722,6 +729,12 @@ size_t PacTree::ScanBase(const Key& start, size_t count,
       stat_retries_.fetch_add(1, std::memory_order_relaxed);
       node = FindDataNode(cursor, &version);
     }
+    if (next_raw != 0) {
+      // One node ahead: start the sibling's metadata/anchor/fingerprint line
+      // fetching while this node's batch drains into |out|, so the sequential
+      // whole-node read above finds its first XPLine warm.
+      PPtr<DataNode>(next_raw).get()->PrefetchProbe();
+    }
     for (size_t i = 0; i < batch_n && out->size() < count; ++i) {
       out->push_back(batch[i]);
     }
@@ -731,6 +744,7 @@ size_t PacTree::ScanBase(const Key& start, size_t count,
     node = PPtr<DataNode>(next_raw).get();
     cursor = node->anchor;  // anchors are immutable
     version = node->lock.ReadLock();
+    stat_node_locks_.fetch_add(1, std::memory_order_relaxed);
     if (node->IsDeleted()) {
       node = FindDataNode(cursor, &version);
     }
@@ -839,10 +853,21 @@ PacTreeStats PacTree::Stats() const {
   s.merges = stat_merges_.load(std::memory_order_relaxed);
   s.smo_applied = updater_->applied();
   s.smo_ring_full_waits = updater_->ring_full_waits();
-  for (int i = 0; i < 4; ++i) {
-    s.jump_hops[i] = stat_hops_[i].load(std::memory_order_relaxed);
+  for (int i = 0; i < kHopHistBuckets; ++i) {
+    s.hop_hist[i] = stat_hops_[i].load(std::memory_order_relaxed);
+  }
+  // Legacy 4-bucket view (0, 1, 2, >=3) derived from the full histogram.
+  for (int i = 0; i < kHopHistBuckets; ++i) {
+    s.jump_hops[i < 3 ? i : 3] += s.hop_hist[i];
   }
   s.retries = stat_retries_.load(std::memory_order_relaxed);
+  s.epoch_enters = stat_epoch_enters_.load(std::memory_order_relaxed);
+  s.node_locks = stat_node_locks_.load(std::memory_order_relaxed);
+  s.multiget_batches = stat_multiget_batches_.load(std::memory_order_relaxed);
+  s.multiget_keys = stat_multiget_keys_.load(std::memory_order_relaxed);
+  s.multiget_node_groups = stat_multiget_node_groups_.load(std::memory_order_relaxed);
+  s.multiget_group_retries = stat_multiget_group_retries_.load(std::memory_order_relaxed);
+  s.multiscan_batches = stat_multiscan_batches_.load(std::memory_order_relaxed);
   if (absorb_ != nullptr) {
     s.absorb = absorb_->Stats();
   }

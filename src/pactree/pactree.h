@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,10 @@ struct PacTreeOptions {
   size_t absorb_drain_batch = 128;
 };
 
+// Jump-hop histogram width: bucket i counts lookups that needed i sibling
+// hops; the last bucket absorbs everything >= kHopHistBuckets - 1.
+inline constexpr int kHopHistBuckets = 16;
+
 struct PacTreeStats {
   uint64_t splits = 0;
   uint64_t merges = 0;
@@ -80,9 +85,19 @@ struct PacTreeStats {
   // SMO append waited for the updater to drain its ring.
   uint64_t smo_ring_full_waits = 0;
   // Jump-node distance distribution (§6.7): how many sibling hops a lookup
-  // needed after the search-layer traversal.
-  uint64_t jump_hops[4] = {0, 0, 0, 0};  // 0, 1, 2, >=3
+  // needed after the search-layer traversal. Full histogram, plus the legacy
+  // 4-bucket view (0, 1, 2, >=3) derived from it for existing consumers.
+  uint64_t hop_hist[kHopHistBuckets] = {};
+  uint64_t jump_hops[4] = {0, 0, 0, 0};
   uint64_t retries = 0;
+  // Read-path amortization counters (what the batched pipeline saves).
+  uint64_t epoch_enters = 0;  // EpochGuard constructions on read paths
+  uint64_t node_locks = 0;    // data-node ReadLock acquisitions
+  uint64_t multiget_batches = 0;
+  uint64_t multiget_keys = 0;
+  uint64_t multiget_node_groups = 0;   // groups probed under one validation
+  uint64_t multiget_group_retries = 0; // group validation failures
+  uint64_t multiscan_batches = 0;
   // Write-absorption counters (all zero when absorb_writes is off).
   AbsorbStats absorb;
 };
@@ -111,6 +126,21 @@ class PacTree : private AbsorbSink {
   // Range scan: up to |count| pairs with key >= |start|, ascending.
   size_t Scan(const Key& start, size_t count,
               std::vector<std::pair<Key, uint64_t>>* out) const;
+
+  // Batched point lookups (multiget.cc): one absorb pass per involved shard,
+  // ONE EpochGuard for the batch, software-pipelined ART floor resolution
+  // with path/node prefetch, and node-grouped probing that read-locks and
+  // version-validates each data node once per contiguous key group. Results
+  // are exactly what per-key Lookup would return; duplicate and out-of-order
+  // keys are fine. Contract matches RangeIndex::MultiGet.
+  size_t MultiGet(std::span<const Key> keys, uint64_t* values,
+                  Status* statuses) const;
+
+  // Batched range scans: processes starts in ascending key order under one
+  // outer epoch (per-scan guards nest cheaply), so adjacent ranges reuse
+  // warmed node lines. Contract matches RangeIndex::MultiScan.
+  void MultiScan(std::span<const Key> starts, std::span<const size_t> counts,
+                 std::vector<std::vector<std::pair<Key, uint64_t>>>* out) const;
 
   // Blocks until every logged SMO has been applied to the search layer
   // (CV drain barrier against the updater services; inline replay when they
@@ -167,6 +197,12 @@ class PacTree : private AbsorbSink {
   // Returns the node with a validated read token.
   DataNode* FindDataNode(const Key& key, uint64_t* version) const;
 
+  // The sibling fix-up half of FindDataNode: walks from |start| (the trie
+  // floor, possibly stale; data-layer head when null) to the node owning
+  // |key|, returning it with a validated read token. MultiGet resolves trie
+  // floors for a whole batch first, then enters here per node group.
+  DataNode* JumpWalk(DataNode* start, const Key& key, uint64_t* version) const;
+
   // Data-layer-only point lookup / scan (no absorb consult); the bodies of
   // the public ops when absorb_writes is off.
   Status LookupBase(const Key& key, uint64_t* value) const;
@@ -214,8 +250,15 @@ class PacTree : private AbsorbSink {
 
   mutable std::atomic<uint64_t> stat_splits_{0};
   mutable std::atomic<uint64_t> stat_merges_{0};
-  mutable std::atomic<uint64_t> stat_hops_[4] = {};
+  mutable std::atomic<uint64_t> stat_hops_[kHopHistBuckets] = {};
   mutable std::atomic<uint64_t> stat_retries_{0};
+  mutable std::atomic<uint64_t> stat_epoch_enters_{0};
+  mutable std::atomic<uint64_t> stat_node_locks_{0};
+  mutable std::atomic<uint64_t> stat_multiget_batches_{0};
+  mutable std::atomic<uint64_t> stat_multiget_keys_{0};
+  mutable std::atomic<uint64_t> stat_multiget_node_groups_{0};
+  mutable std::atomic<uint64_t> stat_multiget_group_retries_{0};
+  mutable std::atomic<uint64_t> stat_multiscan_batches_{0};
 };
 
 }  // namespace pactree
