@@ -64,6 +64,16 @@ inline constexpr bool BenchSimdFingerprints() {
 //   --json=PATH   append one machine-readable JSON document per binary run to
 //                 PATH (throughput, media bytes/op, latency percentiles, and
 //                 each index's StatsJson counters) for perf trajectories.
+//
+// Fault-injection / pressure env knobs (env-only; see DESIGN.md §6g):
+//   PAC_FAILPOINTS        arm allocation fail points for the run, e.g.
+//                         "pmem/alloc=hit:100;absorb/ring_full=prob:0.001".
+//                         Triggers: hit:N (N-th hit), every:N, prob:P[:seed].
+//   PAC_PRESSURE_SOFT/HARD/RESUME
+//                         pool-pressure watermarks in percent (defaults
+//                         85/95/90): soft kicks emergency absorb drains, hard
+//                         flips the tree read-only (writes return kFull),
+//                         resume re-enables writes once usage falls back.
 inline void ParseBenchFlags(int argc, char** argv) {
   bool pin = EnvU64("PAC_PIN", 0) != 0;
   BenchReadBatch() = std::max<uint64_t>(1, EnvU64("PAC_BATCH", 1));
@@ -133,6 +143,11 @@ inline void Banner(const char* fig, const char* what) {
               EnvU64("PAC_ABSORB", 0) != 0 ? "on" : "off",
               EnvStr("PAC_UPDATERS", "auto").c_str(),
               static_cast<unsigned long long>(BenchReadBatch()));
+  std::printf("# faults: failpoints=%s pressure=%llu/%llu/%llu\n",
+              EnvStr("PAC_FAILPOINTS", "none").c_str(),
+              static_cast<unsigned long long>(EnvU64("PAC_PRESSURE_SOFT", 85)),
+              static_cast<unsigned long long>(EnvU64("PAC_PRESSURE_HARD", 95)),
+              static_cast<unsigned long long>(EnvU64("PAC_PRESSURE_RESUME", 90)));
   std::fflush(stdout);
 }
 

@@ -55,6 +55,10 @@ int main(int argc, char** argv) {
     Key k = Key::FromString(argv[2]);
     uint64_t v = std::strtoull(argv[3], nullptr, 10);
     Status s = tree->Insert(k, v);
+    if (s == Status::kFull) {
+      std::fprintf(stderr, "store full (read-only degraded mode)\n");
+      return 1;
+    }
     std::printf("%s\n", s == Status::kExists ? "updated" : "inserted");
     return 0;
   }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "src/common/failpoint.h"
 #include "src/nvm/config.h"
 #include "src/nvm/persist.h"
 #include "src/nvm/topology.h"
@@ -41,11 +42,21 @@ bool AbsorbBuffer::PresentLocked(const Shard& sh, const Key& key) const {
   return sink_->AbsorbBaseLookup(key, nullptr) == Status::kOk;
 }
 
-void AbsorbBuffer::WaitRingSpace(std::unique_lock<std::mutex>& lock, Shard& sh,
+bool AbsorbBuffer::WaitRingSpace(std::unique_lock<std::mutex>& lock, Shard& sh,
                                  uint32_t shard_idx) {
   uint64_t backoff_us = 1;
-  while (sh.tail - sh.head >= opts_.ring_capacity) {
+  // Fail point "absorb/ring_full": forces one backpressure round even with
+  // ring space available (exercises the wait path with few ops).
+  bool forced = PACTREE_FAILPOINT("absorb/ring_full");
+  uint64_t full_at_entry = st_apply_full_.load(std::memory_order_relaxed);
+  int stuck_rounds = 0;
+  while (forced || sh.tail - sh.head >= opts_.ring_capacity) {
+    if (sh.frozen) {
+      return false;  // ring preserved for the next recovery; nothing drains it
+    }
+    forced = false;
     st_ring_full_waits_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t head_before = sh.head;
     BackgroundService* svc =
         shard_idx < services_.size() ? services_[shard_idx] : nullptr;
     lock.unlock();
@@ -57,7 +68,20 @@ void AbsorbBuffer::WaitRingSpace(std::unique_lock<std::mutex>& lock, Shard& sh,
       Pass(shard_idx);  // no worker to wait for: the writer drains
     }
     lock.lock();
+    // Escape hatch: a ring that stays full while the sink keeps rejecting
+    // batches (data layer exhausted) can never make space; spinning here
+    // would wedge the writer forever. Transient rejections recover -- head
+    // progress resets the counter -- so only a persistently stuck ring bails.
+    if (sh.head == head_before &&
+        st_apply_full_.load(std::memory_order_relaxed) > full_at_entry) {
+      if (++stuck_rounds >= 16) {
+        return false;
+      }
+    } else if (sh.head != head_before) {
+      stuck_rounds = 0;
+    }
   }
+  return true;
 }
 
 void AbsorbBuffer::AppendLocked(Shard& sh, const Key& key, uint32_t type,
@@ -84,7 +108,9 @@ Status AbsorbBuffer::Insert(const Key& key, uint64_t value) {
   uint32_t idx = ShardOf(key);
   Shard& sh = shards_[idx];
   std::unique_lock<std::mutex> lock(sh.mu);
-  WaitRingSpace(lock, sh, idx);
+  if (!WaitRingSpace(lock, sh, idx)) {
+    return Status::kFull;
+  }
   bool present = PresentLocked(sh, key);
   AppendLocked(sh, key, kAbsorbOpUpsert, value);
   return present ? Status::kExists : Status::kOk;
@@ -94,7 +120,9 @@ Status AbsorbBuffer::Update(const Key& key, uint64_t value) {
   uint32_t idx = ShardOf(key);
   Shard& sh = shards_[idx];
   std::unique_lock<std::mutex> lock(sh.mu);
-  WaitRingSpace(lock, sh, idx);
+  if (!WaitRingSpace(lock, sh, idx)) {
+    return Status::kFull;
+  }
   if (!PresentLocked(sh, key)) {
     return Status::kNotFound;
   }
@@ -106,7 +134,9 @@ Status AbsorbBuffer::Remove(const Key& key) {
   uint32_t idx = ShardOf(key);
   Shard& sh = shards_[idx];
   std::unique_lock<std::mutex> lock(sh.mu);
-  WaitRingSpace(lock, sh, idx);
+  if (!WaitRingSpace(lock, sh, idx)) {
+    return Status::kFull;
+  }
   if (!PresentLocked(sh, key)) {
     return Status::kNotFound;
   }
@@ -199,6 +229,9 @@ size_t AbsorbBuffer::Pass(uint32_t shard) {
   uint64_t from;
   {
     std::lock_guard<std::mutex> lock(sh.mu);
+    if (sh.frozen) {
+      return 0;  // ring frozen by incomplete replay; see ReplayAndReset
+    }
     uint64_t n = std::min<uint64_t>(sh.tail - sh.head, opts_.drain_batch);
     if (n == 0) {
       return 0;
@@ -217,7 +250,14 @@ size_t AbsorbBuffer::Pass(uint32_t shard) {
   std::sort(batch.begin(), batch.end(), [](const AbsorbOp& a, const AbsorbOp& b) {
     return a.key != b.key ? a.key < b.key : a.seq < b.seq;
   });
-  sink_->AbsorbApply(batch.data(), batch.size());
+  if (!sink_->AbsorbApply(batch.data(), batch.size())) {
+    // Data layer full mid-batch. A durable prefix may have applied, which is
+    // fine (re-application converges); what must NOT happen is a trim or
+    // un-stage -- the ops' ack durability still rests on the ring entries,
+    // and the staged values still mask the partially-applied data layer.
+    st_apply_full_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
 
   // The application above is durable; now un-stage and trim the log.
   {
@@ -256,7 +296,9 @@ size_t AbsorbBuffer::Pass(uint32_t shard) {
 bool AbsorbBuffer::ShardDrained(uint32_t shard) const {
   const Shard& sh = shards_[shard];
   std::lock_guard<std::mutex> lock(sh.mu);
-  return sh.tail == sh.head;
+  // A frozen shard is as drained as it will ever be in this incarnation;
+  // reporting false would wedge every drain barrier (including shutdown).
+  return sh.frozen || sh.tail == sh.head;
 }
 
 bool AbsorbBuffer::Drained() const {
@@ -270,11 +312,42 @@ bool AbsorbBuffer::Drained() const {
 
 void AbsorbBuffer::Drain() {
   for (uint32_t i = 0; i < opts_.shards; ++i) {
-    if (i < services_.size() && services_[i] != nullptr) {
-      services_[i]->Drain([this, i] { return ShardDrained(i); });
-    } else {
-      while (!ShardDrained(i)) {
+    int stuck_rounds = 0;
+    while (!ShardDrained(i)) {
+      uint64_t full_before = st_apply_full_.load(std::memory_order_relaxed);
+      uint64_t head_before;
+      {
+        std::lock_guard<std::mutex> lock(shards_[i].mu);
+        head_before = shards_[i].head;
+      }
+      if (i < services_.size() && services_[i] != nullptr) {
+        // CV barrier, additionally released when a pass fails on a full data
+        // layer so the stuck check below runs instead of waiting forever.
+        services_[i]->Drain([this, i, full_before] {
+          return ShardDrained(i) ||
+                 st_apply_full_.load(std::memory_order_relaxed) != full_before;
+        });
+      } else {
         Pass(i);
+      }
+      if (ShardDrained(i)) {
+        break;
+      }
+      uint64_t head_after;
+      {
+        std::lock_guard<std::mutex> lock(shards_[i].mu);
+        head_after = shards_[i].head;
+      }
+      if (head_after == head_before &&
+          st_apply_full_.load(std::memory_order_relaxed) > full_before) {
+        // No progress and the sink rejected again: the data layer is full.
+        // Give up after a few rounds -- the undrained ops remain durable in
+        // the ring and staged in DRAM, so nothing acked is lost.
+        if (++stuck_rounds >= 3) {
+          break;
+        }
+      } else {
+        stuck_rounds = 0;
       }
     }
   }
@@ -284,8 +357,14 @@ void AbsorbBuffer::Drain() {
 // Recovery
 // ---------------------------------------------------------------------------
 
-size_t AbsorbBuffer::ReplayAndReset() {
+size_t AbsorbBuffer::ReplayAndReset(bool* complete) {
+  if (complete != nullptr) {
+    *complete = true;
+  }
   size_t replayed = 0;
+  // Ops of shards whose application failed: preserved in their rings, adopted
+  // into this incarnation's staging maps (below) so reads observe them.
+  std::vector<AbsorbOp> stranded;
   for (uint32_t s = 0; s < opts_.shards; ++s) {
     Shard& sh = shards_[s];
     if (sh.ring == nullptr) {
@@ -303,21 +382,55 @@ size_t AbsorbBuffer::ReplayAndReset() {
       ops.push_back(AbsorbOp{e.key, e.value, e.seq, e.type});
       max_seq = std::max(max_seq, e.seq);
     }
+    bool applied = true;
     if (!ops.empty()) {
       // Same (key, seq) order as a drain batch: replay is just a big drain.
       // Re-applying ops a crashed drain already applied converges (upserts
-      // rewrite the same value, tombstones find the key already gone).
+      // rewrite the same value, tombstones find the key already gone) --
+      // which also makes the retry loop below safe.
       std::sort(ops.begin(), ops.end(), [](const AbsorbOp& a, const AbsorbOp& b) {
         return a.key != b.key ? a.key < b.key : a.seq < b.seq;
       });
-      sink_->AbsorbApply(ops.data(), ops.size());
-      replayed += ops.size();
+      applied = false;
+      for (int attempt = 0; attempt < 3 && !applied; ++attempt) {
+        applied = sink_->AbsorbApply(ops.data(), ops.size());
+      }
     }
+    if (!applied) {
+      // Data layer full: the ring is the acked ops' only complete durable
+      // copy, so leave its bytes untouched for the next recovery. Volatile
+      // counters read as "full" so a write slipping past the caller's
+      // degraded-mode gate blocks/kFulls instead of overwriting a slot.
+      if (complete != nullptr) {
+        *complete = false;
+      }
+      st_apply_full_.fetch_add(1, std::memory_order_relaxed);
+      sh.frozen = true;
+      sh.head = 0;
+      sh.tail = opts_.ring_capacity;
+      sh.next_seq = max_seq + 1;
+      stranded.insert(stranded.end(), ops.begin(), ops.end());
+      continue;
+    }
+    replayed += ops.size();
     std::memset(static_cast<void*>(sh.ring), 0, sizeof(AbsorbLogRing));
     PersistFence(sh.ring, sizeof(AbsorbLogRing));
     sh.head = 0;
     sh.tail = 0;
     sh.next_seq = max_seq + 1;
+  }
+  if (!stranded.empty()) {
+    // Stage by this incarnation's ShardOf (shard counts can differ across
+    // runs) in ascending seq so the newest op wins per key, exactly like the
+    // original appends would have staged.
+    std::sort(stranded.begin(), stranded.end(),
+              [](const AbsorbOp& a, const AbsorbOp& b) { return a.seq < b.seq; });
+    for (const AbsorbOp& op : stranded) {
+      Shard& home = shards_[ShardOf(op.key)];
+      std::lock_guard<std::mutex> lock(home.mu);
+      home.staging[op.key] =
+          Pending{op.value, op.seq, op.type == kAbsorbOpTombstone};
+    }
   }
   st_replayed_.fetch_add(replayed, std::memory_order_relaxed);
   return replayed;
@@ -358,10 +471,13 @@ AbsorbStats AbsorbBuffer::Stats() const {
   s.lookup_hits = st_lookup_hits_.load(std::memory_order_relaxed);
   s.ring_full_waits = st_ring_full_waits_.load(std::memory_order_relaxed);
   s.replayed = st_replayed_.load(std::memory_order_relaxed);
+  s.apply_full = st_apply_full_.load(std::memory_order_relaxed);
   for (uint32_t i = 0; i < opts_.shards; ++i) {
     const Shard& sh = shards_[i];
     std::lock_guard<std::mutex> lock(sh.mu);
-    s.pending += sh.tail - sh.head;
+    // A frozen shard's tail is pinned to "full"; its staged keys are the
+    // meaningful pending count.
+    s.pending += sh.frozen ? sh.staging.size() : sh.tail - sh.head;
   }
   return s;
 }

@@ -116,9 +116,14 @@ class AbsorbSink {
   // Data-layer-only lookup (no absorb consult), used for presence checks
   // under the shard mutex.
   virtual Status AbsorbBaseLookup(const Key& key, uint64_t* value) const = 0;
-  // Applies a (key, seq)-sorted batch to the data layer. Must be durable on
-  // return: the caller trims the op log immediately after.
-  virtual void AbsorbApply(const AbsorbOp* ops, size_t n) = 0;
+  // Applies a (key, seq)-sorted batch to the data layer. Returns true when the
+  // whole batch is durably applied: the caller trims the op log immediately
+  // after. Returns false when a data-layer allocation failed mid-batch (pool
+  // exhaustion); a durable *prefix* of the batch may have applied, which is
+  // safe because re-application converges (upserts rewrite the same value,
+  // tombstones find the key gone) -- the caller must keep every entry logged
+  // and staged and retry the batch later.
+  virtual bool AbsorbApply(const AbsorbOp* ops, size_t n) = 0;
 };
 
 struct AbsorbOptions {
@@ -139,6 +144,7 @@ struct AbsorbStats {
   uint64_t ring_full_waits = 0; // writer backpressure retries
   uint64_t replayed = 0;        // entries replayed by recovery
   uint64_t pending = 0;         // ops currently staged (all shards)
+  uint64_t apply_full = 0;      // drain batches rejected by a full data layer
 };
 
 // What a staged key currently resolves to, for Scan's merge.
@@ -161,8 +167,18 @@ class AbsorbBuffer {
 
   // Recovery: replays every attached ring's valid entries through the sink in
   // per-shard seq order, then durably resets the rings. Single-threaded; call
-  // before StartServices. Returns entries replayed.
-  size_t ReplayAndReset();
+  // before StartServices. Returns entries replayed (including entries of
+  // shards whose application eventually succeeded after internal retries).
+  //
+  // When the sink rejects a shard's batch (data layer full) even after
+  // retries, that shard's ring is left byte-for-byte intact -- it holds the
+  // only durable copy of acked ops -- its volatile state reads as full (so a
+  // stray append can never overwrite a frozen slot), and the surviving ops
+  // are adopted into the *live* staging maps (keyed by this incarnation's
+  // ShardOf) so lookups and scans still observe them. |complete| (may be
+  // null) is set false in that case; the caller must fail writes fast
+  // (degraded mode) and leave the rings for the next recovery.
+  size_t ReplayAndReset(bool* complete = nullptr);
 
   // Registers the per-shard drain services (async mode only). Idempotent.
   void StartServices();
@@ -204,10 +220,15 @@ class AbsorbBuffer {
   void CollectFrom(const Key& start, std::map<Key, AbsorbPending>* out) const;
 
   // --- drain side ----------------------------------------------------------
-  // One drain round over shard |shard|; returns ops applied.
+  // One drain round over shard |shard|; returns ops applied. A batch the sink
+  // rejects (data layer full) applies nothing observable: no trim, no
+  // un-stage, apply_full bumped, 0 returned.
   size_t Pass(uint32_t shard);
   // Blocks until every shard's ring is empty: CV drain barrier against live
-  // services, inline passes otherwise.
+  // services, inline passes otherwise. Gives up on a shard when consecutive
+  // rounds make no head progress while the sink keeps rejecting batches
+  // (permanently full data layer); the undrained ops remain durable in the
+  // ring and staged in DRAM.
   void Drain();
   bool Drained() const;
 
@@ -232,14 +253,20 @@ class AbsorbBuffer {
     uint64_t head = 0;      // volatile element counters; truth is the checksums
     uint64_t tail = 0;
     uint64_t next_seq = 1;
+    // Incomplete replay froze this shard: the ring bytes are the acked ops'
+    // only durable copy and must survive to the next recovery. Appends and
+    // drain passes are refused; staging still serves reads.
+    bool frozen = false;
   };
 
   // Presence of |key| as the shard (mutex held) + data layer see it.
   bool PresentLocked(const Shard& sh, const Key& key) const;
   // Blocks (dropping and re-taking |lock|) until the shard's ring has a free
   // slot: kicks the drain service when one is live, runs a pass inline
-  // otherwise. Presence checks must run *after* this returns.
-  void WaitRingSpace(std::unique_lock<std::mutex>& lock, Shard& sh,
+  // otherwise. Presence checks must run *after* this returns. Returns false
+  // when the ring stays full while the sink keeps rejecting batches (data
+  // layer exhausted): waiting longer cannot help, the caller returns kFull.
+  bool WaitRingSpace(std::unique_lock<std::mutex>& lock, Shard& sh,
                      uint32_t shard_idx);
   // Appends one entry (single PersistFence) and stages it. Shard mutex held,
   // ring known non-full.
@@ -257,6 +284,7 @@ class AbsorbBuffer {
   mutable std::atomic<uint64_t> st_lookup_hits_{0};
   mutable std::atomic<uint64_t> st_ring_full_waits_{0};
   mutable std::atomic<uint64_t> st_replayed_{0};
+  mutable std::atomic<uint64_t> st_apply_full_{0};
 };
 
 }  // namespace pactree

@@ -1,0 +1,235 @@
+#include "src/common/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace pactree {
+namespace {
+
+struct SiteState {
+  FailPointTrigger trigger;
+  std::thread::id armer;  // meaningful only when trigger.thread_scoped
+  uint64_t hits = 0;
+  uint64_t triggers = 0;
+  uint64_t rng = 0;  // xorshift64 state for kProbability
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, SiteState> sites;
+  std::function<void(const char*)> hook;
+};
+
+// Armed-site count. The unarmed fast path is one relaxed load of this word;
+// std::memory_order_relaxed is fine because arming happens-before the armed
+// thread's next Hit via the registry mutex on the slow path.
+std::atomic<int> g_active{0};
+
+Registry& Reg() {
+  static Registry* r = new Registry();  // leaked: outlives static destructors
+  return *r;
+}
+
+uint64_t XorShift64(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
+// PAC_FAILPOINTS is parsed once at process start (a static initializer, not
+// lazily inside Hit: the g_active fast path would otherwise skip the parse
+// forever). Test binaries arm programmatically and never rely on this.
+struct EnvInit {
+  EnvInit() {
+    const char* spec = std::getenv("PAC_FAILPOINTS");
+    if (spec != nullptr && spec[0] != '\0') {
+      FailPoints::ArmFromSpec(spec);
+    }
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+bool FailPoints::Hit(const char* site) {
+  if (g_active.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  std::function<void(const char*)> hook;
+  {
+    Registry& reg = Reg();
+    std::lock_guard<std::mutex> guard(reg.mu);
+    auto it = reg.sites.find(site);
+    if (it == reg.sites.end()) {
+      return false;
+    }
+    SiteState& st = it->second;
+    if (st.trigger.thread_scoped && st.armer != std::this_thread::get_id()) {
+      return false;
+    }
+    st.hits++;
+    bool fire = false;
+    switch (st.trigger.kind) {
+      case FailPointTrigger::kCountOnly:
+        break;
+      case FailPointTrigger::kNthHit:
+        fire = st.hits == st.trigger.n;
+        break;
+      case FailPointTrigger::kEveryNth:
+        fire = st.trigger.n != 0 && st.hits % st.trigger.n == 0;
+        break;
+      case FailPointTrigger::kProbability: {
+        // Top 53 bits -> uniform double in [0, 1).
+        double u = static_cast<double>(XorShift64(&st.rng) >> 11) * 0x1.0p-53;
+        fire = u < st.trigger.probability;
+        break;
+      }
+    }
+    if (!fire) {
+      return false;
+    }
+    st.triggers++;
+    hook = reg.hook;  // copy out: the hook may re-enter FailPoints
+  }
+  if (hook) {
+    hook(site);
+  }
+  return true;
+}
+
+void FailPoints::Arm(const std::string& site, const FailPointTrigger& trigger) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> guard(reg.mu);
+  auto [it, inserted] = reg.sites.insert_or_assign(site, SiteState{});
+  SiteState& st = it->second;
+  st.trigger = trigger;
+  st.armer = std::this_thread::get_id();
+  st.rng = trigger.seed != 0 ? trigger.seed : 0x9e3779b97f4a7c15ull;
+  if (inserted) {
+    g_active.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoints::Disarm(const std::string& site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> guard(reg.mu);
+  if (reg.sites.erase(site) != 0) {
+    g_active.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoints::DisarmAll() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> guard(reg.mu);
+  g_active.fetch_sub(static_cast<int>(reg.sites.size()),
+                     std::memory_order_relaxed);
+  reg.sites.clear();
+}
+
+uint64_t FailPoints::HitCount(const std::string& site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> guard(reg.mu);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+uint64_t FailPoints::TriggerCount(const std::string& site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> guard(reg.mu);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.triggers;
+}
+
+void FailPoints::ResetCounters(const std::string& site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> guard(reg.mu);
+  auto it = reg.sites.find(site);
+  if (it != reg.sites.end()) {
+    it->second.hits = 0;
+    it->second.triggers = 0;
+  }
+}
+
+void FailPoints::SetTriggerHook(std::function<void(const char*)> hook) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> guard(reg.mu);
+  reg.hook = std::move(hook);
+}
+
+std::vector<std::string> FailPoints::ListArmed() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> guard(reg.mu);
+  std::vector<std::string> out;
+  out.reserve(reg.sites.size());
+  for (const auto& [name, st] : reg.sites) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+size_t FailPoints::ArmFromSpec(const std::string& spec) {
+  size_t armed = 0;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      continue;
+    }
+    std::string site = entry.substr(0, eq);
+    std::string rule = entry.substr(eq + 1);
+    size_t c1 = rule.find(':');
+    std::string kind = c1 == std::string::npos ? rule : rule.substr(0, c1);
+    std::string arg = c1 == std::string::npos ? "" : rule.substr(c1 + 1);
+    FailPointTrigger t;
+    t.thread_scoped = false;  // no arming thread at env-parse time
+    char* parse_end = nullptr;
+    if (kind == "hit") {
+      t.kind = FailPointTrigger::kNthHit;
+      t.n = std::strtoull(arg.c_str(), &parse_end, 10);
+      if (parse_end == arg.c_str() || t.n == 0) {
+        continue;
+      }
+    } else if (kind == "every") {
+      t.kind = FailPointTrigger::kEveryNth;
+      t.n = std::strtoull(arg.c_str(), &parse_end, 10);
+      if (parse_end == arg.c_str() || t.n == 0) {
+        continue;
+      }
+    } else if (kind == "prob") {
+      t.kind = FailPointTrigger::kProbability;
+      size_t c2 = arg.find(':');
+      std::string p = c2 == std::string::npos ? arg : arg.substr(0, c2);
+      t.probability = std::strtod(p.c_str(), &parse_end);
+      if (parse_end == p.c_str() || t.probability <= 0.0) {
+        continue;
+      }
+      if (c2 != std::string::npos) {
+        uint64_t seed = std::strtoull(arg.c_str() + c2 + 1, nullptr, 10);
+        if (seed != 0) {
+          t.seed = seed;
+        }
+      }
+    } else if (kind == "count") {
+      t.kind = FailPointTrigger::kCountOnly;
+    } else {
+      continue;
+    }
+    Arm(site, t);
+    armed++;
+  }
+  return armed;
+}
+
+}  // namespace pactree

@@ -76,6 +76,16 @@ class PacTreeIndex : public RangeIndex {
     field("absorb_staged", s.absorb.staged);
     field("absorb_drained", s.absorb.drained);
     field("absorb_lookup_hits", s.absorb.lookup_hits);
+    field("absorb_apply_full", s.absorb.apply_full);
+    // Exhaustion / degraded-mode visibility.
+    field("degraded", s.degraded ? 1 : 0);
+    field("write_rejects", s.write_rejects);
+    field("split_alloc_failures", s.split_alloc_failures);
+    field("alloc_failures", s.alloc_failures);
+    field("heap_remote_allocs", tree_->search_heap()->RemoteAllocs() +
+                                    tree_->data_heap()->RemoteAllocs() +
+                                    tree_->log_heap()->RemoteAllocs());
+    j += ",\"used_fraction\":" + std::to_string(s.used_fraction);
     j += ",\"hop_hist\":[";
     for (int i = 0; i < kHopHistBuckets; ++i) {
       if (i > 0) {

@@ -5,7 +5,9 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "src/nvm/address_map.h"
@@ -20,17 +22,26 @@ NvmPoolFile& NvmPoolFile::operator=(NvmPoolFile&& o) noexcept {
     node_ = std::exchange(o.node_, 0);
     path_ = std::move(o.path_);
     o.path_.clear();
+    last_error_ = std::move(o.last_error_);
+    o.last_error_.clear();
   }
   return *this;
+}
+
+void NvmPoolFile::SetError(const char* op, const std::string& path, int err) {
+  last_error_ = std::string(op) + "(" + path + "): " +
+                (err != 0 ? std::strerror(err) : "unexpected file state");
 }
 
 bool NvmPoolFile::Create(const std::string& path, size_t size, uint32_t node,
                          uint16_t pool_id) {
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
+    SetError("open", path, errno);
     return false;
   }
   if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    SetError("ftruncate", path, errno);
     ::close(fd);
     return false;
   }
@@ -40,10 +51,18 @@ bool NvmPoolFile::Create(const std::string& path, size_t size, uint32_t node,
 bool NvmPoolFile::Open(const std::string& path, uint32_t node, uint16_t pool_id) {
   int fd = ::open(path.c_str(), O_RDWR);
   if (fd < 0) {
+    SetError("open", path, errno);
     return false;
   }
   struct stat st;
-  if (::fstat(fd, &st) != 0 || st.st_size == 0) {
+  if (::fstat(fd, &st) != 0) {
+    SetError("fstat", path, errno);
+    ::close(fd);
+    return false;
+  }
+  if (st.st_size == 0) {
+    SetError("fstat", path, 0);
+    last_error_ = "fstat(" + path + "): pool file is empty";
     ::close(fd);
     return false;
   }
@@ -55,9 +74,11 @@ bool NvmPoolFile::MapFd(int fd, size_t size, uint32_t node, uint16_t pool_id,
   void* base = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
   ::close(fd);
   if (base == MAP_FAILED) {
+    SetError("mmap", path, errno);
     return false;
   }
   Close();
+  last_error_.clear();
   base_ = base;
   size_ = size;
   node_ = node;

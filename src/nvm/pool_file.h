@@ -24,9 +24,14 @@ class NvmPoolFile {
   NvmPoolFile& operator=(NvmPoolFile&& o) noexcept;
 
   // Creates (truncating any existing file) or opens an existing pool file and
-  // maps it. |node| is the owning logical NUMA node. Returns false on failure.
+  // maps it. |node| is the owning logical NUMA node. Returns false on failure
+  // and records the syscall, errno, and offending path in last_error().
   bool Create(const std::string& path, size_t size, uint32_t node, uint16_t pool_id);
   bool Open(const std::string& path, uint32_t node, uint16_t pool_id);
+
+  // Human-readable description of the most recent Create/Open failure
+  // ("open(/path): No space left on device"); empty after a success.
+  const std::string& last_error() const { return last_error_; }
 
   void Close();
 
@@ -42,10 +47,13 @@ class NvmPoolFile {
  private:
   bool MapFd(int fd, size_t size, uint32_t node, uint16_t pool_id, const std::string& path);
 
+  void SetError(const char* op, const std::string& path, int err);
+
   void* base_ = nullptr;
   size_t size_ = 0;
   uint32_t node_ = 0;
   std::string path_;
+  std::string last_error_;
 };
 
 }  // namespace pactree

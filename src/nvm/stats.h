@@ -31,6 +31,11 @@ struct NvmStatsSnapshot {
   uint64_t directory_writes = 0;    // FH5: media writes caused by remote reads
   uint64_t alloc_ops = 0;           // persistent allocations (filled by pmem)
   uint64_t free_ops = 0;
+  // Allocations served by a non-local sub-pool after the NUMA-local pool ran
+  // out (filled by PmemHeap::MediaStats, not per-pool counters): each one is a
+  // future stream of remote media accesses, so a silent fallback must show up
+  // here before it shows up as remote_reads/remote_writes.
+  uint64_t heap_remote_allocs = 0;
 
   NvmStatsSnapshot operator-(const NvmStatsSnapshot& o) const {
     NvmStatsSnapshot d;
@@ -46,6 +51,7 @@ struct NvmStatsSnapshot {
     d.directory_writes = directory_writes - o.directory_writes;
     d.alloc_ops = alloc_ops - o.alloc_ops;
     d.free_ops = free_ops - o.free_ops;
+    d.heap_remote_allocs = heap_remote_allocs - o.heap_remote_allocs;
     return d;
   }
 
@@ -62,6 +68,7 @@ struct NvmStatsSnapshot {
     directory_writes += o.directory_writes;
     alloc_ops += o.alloc_ops;
     free_ops += o.free_ops;
+    heap_remote_allocs += o.heap_remote_allocs;
     return *this;
   }
 };

@@ -75,7 +75,7 @@ void FlushDirtySlots(DataNode* node, uint64_t dirty) {
 
 }  // namespace
 
-void PacTree::AbsorbApply(const AbsorbOp* ops, size_t n) {
+bool PacTree::AbsorbApply(const AbsorbOp* ops, size_t n) {
   EpochGuard guard;
   size_t i = 0;
   while (i < n) {
@@ -129,7 +129,16 @@ void PacTree::AbsorbApply(const AbsorbOp* ops, size_t n) {
         // op.key; the op is re-dispatched against it.
         FlushDirtySlots(node, dirty);
         node->PublishBitmap(bm);
-        node = SplitLocked(node, op.key);
+        DataNode* owner = SplitLocked(node, op.key);
+        if (owner == nullptr) {
+          // Data pool exhausted mid-batch. Everything applied so far is
+          // already durably published (flushes + bitmap above), which is
+          // safe: the caller keeps the whole batch logged and staged, and
+          // re-application converges. Unwind the lock and report failure.
+          node->lock.WriteUnlock();
+          return false;
+        }
+        node = owner;
         bm = node->Bitmap();
         published = bm;
         dirty = 0;
@@ -161,6 +170,7 @@ void PacTree::AbsorbApply(const AbsorbOp* ops, size_t n) {
     }
     node->lock.WriteUnlock();
   }
+  return true;
 }
 
 }  // namespace pactree

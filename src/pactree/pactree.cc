@@ -11,6 +11,7 @@
 #include "src/nvm/persist.h"
 #include "src/pactree/pac_root.h"
 #include "src/pmem/registry.h"
+#include "src/runtime/maintenance.h"
 #include "src/sync/epoch.h"
 #include "src/sync/gen_sync.h"
 #include "src/sync/generation.h"
@@ -68,6 +69,16 @@ bool PacTree::Init(const PacTreeOptions& opts) {
   opts_ = opts;
   if (!opts_.absorb_writes && EnvU64("PAC_ABSORB", 0) != 0) {
     opts_.absorb_writes = true;  // bench --absorb routes through the env var
+  }
+  // Pressure watermark overrides, in percent (PAC_PRESSURE_HARD=95 -> 0.95).
+  if (uint64_t v = EnvU64("PAC_PRESSURE_SOFT", 0); v != 0) {
+    opts_.pressure_soft = static_cast<double>(v) / 100.0;
+  }
+  if (uint64_t v = EnvU64("PAC_PRESSURE_HARD", 0); v != 0) {
+    opts_.pressure_hard = static_cast<double>(v) / 100.0;
+  }
+  if (uint64_t v = EnvU64("PAC_PRESSURE_RESUME", 0); v != 0) {
+    opts_.pressure_resume = static_cast<double>(v) / 100.0;
   }
   PmemHeapOptions h;
   h.pool_size = opts.pool_size;
@@ -183,12 +194,47 @@ bool PacTree::Init(const PacTreeOptions& opts) {
       }
       absorb_->AttachRing(i, PPtr<AbsorbLogRing>(root_->absorb_raws[i]).get());
     }
+    if (absorb_replay_incomplete_) {
+      // Recovery's temp-buffer replay left at least one ring un-zeroed after
+      // its apply attempts failed (pool exhaustion). Give the live buffer one
+      // more try before services start: rings the temp replay did reset are
+      // empty and contribute nothing, so nothing double-applies. On failure
+      // the live shards freeze -- appends are refused, staging serves reads --
+      // and the rings keep the acked ops durable for the next recovery.
+      bool complete = true;
+      absorb_replayed_ += absorb_->ReplayAndReset(&complete);
+      updater_->Drain();  // replayed batches may have logged SMOs
+      if (complete) {
+        absorb_replay_incomplete_ = false;
+      }
+    }
     absorb_->StartServices();
+  }
+  if (absorb_replay_incomplete_) {
+    // Acked-but-unapplied ops survive only in the un-zeroed rings; new writes
+    // must not be admitted against state that cannot become durable (with
+    // absorb off there is not even a staging view of the stranded ops).
+    // Pin read-only degraded mode for the life of this incarnation.
+    degraded_.store(true, std::memory_order_relaxed);
+    degraded_pinned_ = true;
   }
 
   if (opts_.async_search_update) {
     updater_->StartServices();
     EpochReclaimService::Acquire();
+    // Pool-pressure watchdog: periodically re-evaluates the watermark policy
+    // (PollPressure) so the tree degrades -- and resumes -- even when no
+    // writer happens to hit an allocation failure. Sync-mode trees rely on
+    // the inline PollPressure calls from the failure paths instead.
+    BackgroundService::Options po;
+    po.name = opts_.name + "/pool/pressure";
+    po.idle_min_us = 1000;
+    po.idle_max_us = 50000;
+    pressure_service_ =
+        MaintenanceRegistry::Instance().Register(std::move(po), [this] {
+          PollPressure();
+          return size_t{0};  // pure polling: stay on the idle-backoff cadence
+        });
   }
   return true;
 }
@@ -196,6 +242,10 @@ bool PacTree::Init(const PacTreeOptions& opts) {
 PacTree::~PacTree() {
   if (updater_ == nullptr) {
     return;  // Init failed before the updater came up (e.g. bad pool file)
+  }
+  if (pressure_service_ != nullptr) {
+    MaintenanceRegistry::Instance().Unregister(pressure_service_);
+    pressure_service_ = nullptr;
   }
   // Quiesce front-to-back: absorb drains first (its batches log SMOs), then
   // the SMO logs, while all services are still live (CV barriers; inline
@@ -350,6 +400,10 @@ void PacTree::MaintainPermutation(DataNode* node) {
 }
 
 Status PacTree::Insert(const Key& key, uint64_t value) {
+  if (degraded_.load(std::memory_order_relaxed)) {
+    stat_write_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return Status::kFull;  // read-only degraded mode: fail fast, no side effects
+  }
   if (absorb_ != nullptr) {
     return absorb_->Insert(key, value);
   }
@@ -365,7 +419,14 @@ Status PacTree::Insert(const Key& key, uint64_t value) {
     int existing = node->FindKey(key, fingerprint);
     int free = node->FindFreeSlot();
     if (free < 0) {
-      node = SplitLocked(node, key);
+      DataNode* owner = SplitLocked(node, key);
+      if (owner == nullptr) {
+        // Data pool exhausted: the split unwound completely (log entry
+        // cancelled, both layers untouched); release the lock and fail.
+        node->lock.WriteUnlock();
+        return Status::kFull;
+      }
+      node = owner;
       existing = node->FindKey(key, fingerprint);
       free = node->FindFreeSlot();
       assert(free >= 0 && "a freshly split node has free slots");
@@ -385,6 +446,10 @@ Status PacTree::Insert(const Key& key, uint64_t value) {
 }
 
 Status PacTree::Update(const Key& key, uint64_t value) {
+  if (degraded_.load(std::memory_order_relaxed)) {
+    stat_write_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return Status::kFull;  // read-only degraded mode: fail fast, no side effects
+  }
   if (absorb_ != nullptr) {
     return absorb_->Update(key, value);
   }
@@ -412,7 +477,12 @@ Status PacTree::Update(const Key& key, uint64_t value) {
     }
     int free = node->FindFreeSlot();
     if (free < 0) {
-      node = SplitLocked(node, key);
+      DataNode* owner = SplitLocked(node, key);
+      if (owner == nullptr) {
+        node->lock.WriteUnlock();
+        return Status::kFull;  // split unwound; see Insert
+      }
+      node = owner;
       // The key was present under the lock, so it lives in the half that now
       // owns it; a freshly split node always has free slots.
       existing = node->FindKey(key, fingerprint);
@@ -434,6 +504,10 @@ Status PacTree::Update(const Key& key, uint64_t value) {
 }
 
 Status PacTree::Remove(const Key& key) {
+  // Deliberately NOT gated on degraded mode: deletes allocate nothing (merges
+  // log SMOs into pre-allocated rings) and are the caller's only way to shrink
+  // the tree back below the resume watermark. Frozen absorb shards still
+  // refuse the append (kFull) via WaitRingSpace.
   if (absorb_ != nullptr) {
     return absorb_->Remove(key);
   }
@@ -484,7 +558,16 @@ DataNode* PacTree::SplitLocked(DataNode* node, const Key& key) {
   SmoLogEntry* e =
       updater_->Log(kSmoTypeSplit, ToPPtr(node).Cast<void>().raw, 0, split_anchor);
   PPtr<void> new_block = data_heap_->AllocTo(ToPPtr(&e->other_raw), sizeof(DataNode));
-  assert(!new_block.IsNull() && "data pool exhausted");
+  if (new_block.IsNull()) {
+    // Data pool exhausted. Unwind: durably cancel the log entry (nothing was
+    // published and no layer was touched, so recovery and live replay both
+    // see a clean ring) and report failure with |node| still write-locked --
+    // the caller releases it and fails its op with kFull.
+    updater_->Cancel(e);
+    stat_split_alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+    PollPressure();
+    return nullptr;
+  }
   // AllocTo filled other_raw after the entry's checksum was computed; re-seal
   // before any data-layer mutation. A crash inside this window leaves a
   // checksum that validates only with other_raw treated as 0 -- recovery
@@ -753,6 +836,36 @@ size_t PacTree::ScanBase(const Key& start, size_t count,
 }
 
 // ---------------------------------------------------------------------------
+// Pool pressure / degraded mode
+// ---------------------------------------------------------------------------
+
+void PacTree::PollPressure() {
+  // The signal is the WORST sub-pool over the data and log heaps: one
+  // exhausted sub-pool stalls every writer routed to it regardless of how
+  // much room its siblings have. The search heap is excluded -- trie growth
+  // failures are absorbed by pending SMO entries and jump walks, not by
+  // refusing index writes.
+  const double used =
+      std::max(data_heap_->MaxUsedFraction(), log_heap_->MaxUsedFraction());
+  if (used >= opts_.pressure_soft && absorb_ != nullptr) {
+    // Emergency drain kick: flushing staged writes while chunks remain beats
+    // stranding them in rings past the hard watermark.
+    for (BackgroundService* s : absorb_->services()) {
+      s->Notify();
+    }
+  }
+  if (degraded_pinned_) {
+    return;  // incomplete-replay degradation never clears (see Init)
+  }
+  const bool degraded = degraded_.load(std::memory_order_relaxed);
+  if (!degraded && used >= opts_.pressure_hard) {
+    degraded_.store(true, std::memory_order_relaxed);
+  } else if (degraded && used <= opts_.pressure_resume) {
+    degraded_.store(false, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Introspection
 // ---------------------------------------------------------------------------
 
@@ -874,6 +987,14 @@ PacTreeStats PacTree::Stats() const {
   // Recovery replays through a temporary buffer (see recovery.cc) whose
   // counters die with it; the replay count is carried here.
   s.absorb.replayed += absorb_replayed_;
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.write_rejects = stat_write_rejects_.load(std::memory_order_relaxed);
+  s.split_alloc_failures =
+      stat_split_alloc_failures_.load(std::memory_order_relaxed);
+  s.used_fraction =
+      std::max(data_heap_->MaxUsedFraction(), log_heap_->MaxUsedFraction());
+  s.alloc_failures = search_heap_->AllocFailures() +
+                     data_heap_->AllocFailures() + log_heap_->AllocFailures();
   return s;
 }
 

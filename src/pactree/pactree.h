@@ -71,6 +71,20 @@ struct PacTreeOptions {
   size_t absorb_ring_capacity = kAbsorbLogEntries;
   // Max ops an absorb drain pass pulls off one shard's ring.
   size_t absorb_drain_batch = 128;
+
+  // Pool-pressure watermarks, as fractions of chunk capacity; the signal is
+  // the *highest* sub-pool used-fraction across the data and log heaps (one
+  // exhausted sub-pool stalls writers even when siblings have room). Past
+  // |pressure_soft| the pressure service kicks absorb drains (emptying rings
+  // is the only reclaim writers cannot do themselves); past |pressure_hard|
+  // the tree enters read-only degraded mode -- Insert/Update fail fast with
+  // kFull while lookups, scans, MultiGet, and Remove keep serving -- until
+  // the used fraction falls back to |pressure_resume|. Env overrides:
+  // PAC_PRESSURE_SOFT / PAC_PRESSURE_HARD / PAC_PRESSURE_RESUME (percent,
+  // e.g. 95 for 0.95).
+  double pressure_soft = 0.85;
+  double pressure_hard = 0.95;
+  double pressure_resume = 0.90;
 };
 
 // Jump-hop histogram width: bucket i counts lookups that needed i sibling
@@ -100,6 +114,12 @@ struct PacTreeStats {
   uint64_t multiscan_batches = 0;
   // Write-absorption counters (all zero when absorb_writes is off).
   AbsorbStats absorb;
+  // Resource-exhaustion visibility (the tentpole of the robustness work).
+  bool degraded = false;              // read-only degraded mode active
+  uint64_t write_rejects = 0;         // writes failed fast with kFull while degraded
+  uint64_t split_alloc_failures = 0;  // splits aborted on data-pool exhaustion
+  double used_fraction = 0.0;         // max sub-pool used fraction, data+log heaps
+  uint64_t alloc_failures = 0;        // failed pool allocations, data+log heaps
 };
 
 class PacTree : private AbsorbSink {
@@ -153,6 +173,18 @@ class PacTree : private AbsorbSink {
   void DrainAbsorb();
 
   PacTreeStats Stats() const;
+
+  // True while the tree is in read-only degraded mode (pool pressure past the
+  // hard watermark, or an absorb op-log replay that could not complete).
+  // Insert/Update return kFull immediately; reads and Remove keep serving.
+  bool Degraded() const { return degraded_.load(std::memory_order_relaxed); }
+  // One pressure-evaluation round: recomputes the used fraction over the data
+  // and log heaps and applies the watermark policy (soft -> kick absorb
+  // drains, hard -> enter degraded, resume -> leave degraded). Runs
+  // periodically on the "<name>/pool/pressure" service in async mode and
+  // inline from allocation-failure paths, so sync-mode trees still degrade.
+  void PollPressure();
+
   const PacTreeOptions& options() const { return opts_; }
   PdlArt* search_layer() { return art_.get(); }
   // The SMO replay subsystem and its registered background services (empty in
@@ -215,10 +247,17 @@ class PacTree : private AbsorbSink {
   Status AbsorbBaseLookup(const Key& key, uint64_t* value) const override {
     return LookupBase(key, value);
   }
-  void AbsorbApply(const AbsorbOp* ops, size_t n) override;
+  // Returns false when a data-node allocation failed mid-batch (a split could
+  // not complete): a durable prefix of the batch may already be applied,
+  // which is safe -- re-application converges -- so the absorb buffer keeps
+  // the ops staged and retries the batch later.
+  bool AbsorbApply(const AbsorbOp* ops, size_t n) override;
 
   // Splits |node| (write-locked, full). Returns the node that now owns |key|
-  // (still write-locked; the other half is unlocked).
+  // (still write-locked; the other half is unlocked). Returns nullptr when
+  // the new node's allocation failed: the logged SMO entry is cancelled, the
+  // data and search layers are untouched, and |node| is STILL write-locked --
+  // the caller unlocks it and fails its op with kFull.
   DataNode* SplitLocked(DataNode* node, const Key& key);
 
   // Attempts to merge |right| into |node| (both ranges adjacent). |node| is
@@ -241,6 +280,20 @@ class PacTree : private AbsorbSink {
   std::unique_ptr<AbsorbBuffer> absorb_;
   // Absorb op-log entries replayed by this incarnation's recovery.
   uint64_t absorb_replayed_ = 0;
+  // Recovery's temp-buffer absorb replay could not fully apply some ring
+  // (search/data pool exhausted even after retries). Init gives the live
+  // absorb buffer one more replay attempt; if that also fails, the tree
+  // stays permanently degraded for this incarnation and the un-zeroed rings
+  // carry the acked ops to the next recovery.
+  bool absorb_replay_incomplete_ = false;
+  // Read-only degraded mode (see Degraded()). Set by watermark policy or an
+  // incomplete absorb replay; cleared only by the resume watermark.
+  std::atomic<bool> degraded_{false};
+  // Degraded mode forced by incomplete replay is permanent: the resume
+  // watermark must not clear it (the stranded ops have no durable home).
+  bool degraded_pinned_ = false;
+  // "<name>/pool/pressure" service (async mode only; null otherwise).
+  BackgroundService* pressure_service_ = nullptr;
   // False when Init attached a pre-existing persistent search layer: trie
   // updates already applied (and persisted as "applied" in the rings) before
   // a crash may have been evicted without reaching NVM, leaving permanent but
@@ -259,6 +312,8 @@ class PacTree : private AbsorbSink {
   mutable std::atomic<uint64_t> stat_multiget_node_groups_{0};
   mutable std::atomic<uint64_t> stat_multiget_group_retries_{0};
   mutable std::atomic<uint64_t> stat_multiscan_batches_{0};
+  mutable std::atomic<uint64_t> stat_write_rejects_{0};
+  mutable std::atomic<uint64_t> stat_split_alloc_failures_{0};
 };
 
 }  // namespace pactree

@@ -118,7 +118,15 @@ void PacTree::Recover() {
                             PPtr<AbsorbLogRing>(root_->absorb_raws[i]).get());
         }
       }
-      absorb_replayed_ = replay.ReplayAndReset();
+      bool complete = true;
+      absorb_replayed_ = replay.ReplayAndReset(&complete);
+      if (!complete) {
+        // Some ring's ops could not be applied (pool exhaustion): its bytes
+        // were left intact as the only durable copy. Init retries through the
+        // live absorb buffer once it attaches; if that also fails, the tree
+        // runs this incarnation in pinned degraded mode.
+        absorb_replay_incomplete_ = true;
+      }
       // Replayed batches can log SMOs (splits/merges); in async mode those
       // would otherwise wait for the services that have not started yet, and
       // VerifyRecoveredIndex-style callers expect a fully-drained tree right

@@ -7,6 +7,7 @@
 
 #include "src/art/art.h"
 #include "src/common/compiler.h"
+#include "src/common/failpoint.h"
 #include "src/nvm/config.h"
 #include "src/nvm/persist.h"
 #include "src/nvm/topology.h"
@@ -90,12 +91,19 @@ SmoLogEntry* SmoUpdater::Log(uint32_t type, uint64_t node_raw, uint64_t other_ra
   while (true) {
     pos = std::atomic_ref<uint64_t>(log->tail).load(std::memory_order_acquire);
     uint64_t head = std::atomic_ref<uint64_t>(log->head).load(std::memory_order_acquire);
-    if (pos - head >= opts_.ring_capacity) {
+    // Fail point "smo/ring_full": forces one backpressure round as if the ring
+    // were full (short-circuit keeps it unevaluated on genuinely full rings).
+    if (pos - head >= opts_.ring_capacity || PACTREE_FAILPOINT("smo/ring_full")) {
       // Ring full: account the stall, kick the owning updater out of idle
       // backoff, and back off exponentially ourselves (bounded by SMO rate).
       ring_full_waits_.fetch_add(1, std::memory_order_relaxed);
       if (!services_.empty()) {
         services_[slot % opts_.shards]->Notify();
+      } else {
+        // Sync mode: no service will ever drain this ring. A full ring here
+        // means entries are stuck pending (a kFull apply left stragglers);
+        // retry them inline so the append can make progress.
+        Pass(slot % opts_.shards);
       }
       if (backoff_us == 0) {
         CpuRelax();
@@ -172,6 +180,24 @@ void SmoUpdater::MarkAnchorApplied(const Key& anchor, uint64_t seq) {
   }
 }
 
+void SmoUpdater::Cancel(SmoLogEntry* e) {
+  // Durably erase the payload first: after this fence the entry is
+  // indistinguishable from a retired slot to recovery (type 0 is skipped).
+  e->node_raw = 0;
+  e->other_raw = 0;
+  e->checksum = 0;
+  std::atomic_ref<uint32_t>(e->type).store(0, std::memory_order_release);
+  PersistFence(e, sizeof(*e));
+  // Then let the live ring retire the slot: AdvanceHeads requires a nonzero
+  // seq and applied set. applied before seq (release) mirrors the order Pass
+  // reads them in. No anchor-map update -- Publish never ran, so no reader or
+  // successor SMO is waiting on this entry.
+  e->applied = 1;
+  uint64_t seq = smo_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_ref<uint64_t>(e->seq).store(seq, std::memory_order_release);
+  AdvanceHeads(WriterSlot() % opts_.shards);
+}
+
 void SmoUpdater::ApplySync(SmoLogEntry* e) {
   Apply(e);
   AdvanceHeads(WriterSlot() % opts_.shards);
@@ -181,16 +207,26 @@ void SmoUpdater::ApplySync(SmoLogEntry* e) {
 // Replay side
 // ---------------------------------------------------------------------------
 
-void SmoUpdater::Apply(SmoLogEntry* e) {
+bool SmoUpdater::Apply(SmoLogEntry* e) {
   uint64_t seq = std::atomic_ref<uint64_t>(e->seq).load(std::memory_order_relaxed);
   if (e->type == kSmoTypeSplit) {
-    art_->Insert(e->anchor, e->other_raw);
+    if (art_->Insert(e->anchor, e->other_raw) == Status::kFull) {
+      // Search-layer pool exhausted. The entry must NOT be marked applied: a
+      // retired entry would silently drop the anchor forever, whereas a
+      // pending one is retried by the next pass (readers reach the new node
+      // through sibling walks meanwhile).
+      return false;
+    }
     e->applied = 1;
     PersistFence(&e->applied, sizeof(e->applied));
     applied_.fetch_add(1, std::memory_order_relaxed);
   } else {
     // Merge: remove the anchor, then free the victim after two epochs (§5.6).
-    art_->Remove(e->anchor);
+    // Remove's shrink-copy falls back to in-place removal on exhaustion, but a
+    // prefix-split path can still report kFull; keep the entry pending then.
+    if (art_->Remove(e->anchor) == Status::kFull) {
+      return false;
+    }
     e->applied = 1;
     PersistFence(&e->applied, sizeof(e->applied));
     applied_.fetch_add(1, std::memory_order_relaxed);
@@ -199,6 +235,7 @@ void SmoUpdater::Apply(SmoLogEntry* e) {
   // Only after the trie mutation is done may a same-anchor successor (possibly
   // replaying concurrently in a peer shard) be released.
   MarkAnchorApplied(e->anchor, seq);
+  return true;
 }
 
 size_t SmoUpdater::Pass(uint32_t shard) {
@@ -238,7 +275,9 @@ size_t SmoUpdater::Pass(uint32_t shard) {
     if (pred != 0 && !AnchorApplied(it.e->anchor, pred)) {
       break;  // defer the rest of this pass to preserve seq order in-shard
     }
-    Apply(it.e);
+    if (!Apply(it.e)) {
+      break;  // search-layer pool exhausted; defer, a later pass retries
+    }
     applied++;
   }
   AdvanceHeads(shard);
@@ -328,9 +367,26 @@ void SmoUpdater::Drain() {
   if (all_live) {
     // CV drain barrier per shard: each service keeps passing (short cadence)
     // while its drainer waits; peers replay concurrently, so cross-shard
-    // anchor deferrals resolve without any caller-side polling.
+    // anchor deferrals resolve without any caller-side polling. The stuck
+    // escape releases the barrier when passes stop applying anything for an
+    // extended stretch -- a search-layer pool exhausted past recovery would
+    // otherwise wedge the drain (and shutdown) forever; the unapplied
+    // entries stay pending in the rings and jump walks cover the staleness.
     for (uint32_t u = 0; u < opts_.shards; ++u) {
-      services_[u]->Drain([this, u] { return ShardDrained(u); });
+      uint64_t last_applied = applied();
+      int stuck = 0;
+      services_[u]->Drain([this, u, &last_applied, &stuck] {
+        if (ShardDrained(u)) {
+          return true;
+        }
+        uint64_t a = applied();
+        if (a != last_applied) {
+          last_applied = a;
+          stuck = 0;
+          return false;
+        }
+        return ++stuck >= 4096;  // ~0.4 s of fruitless passes: give up
+      });
     }
     return;
   }
@@ -338,7 +394,9 @@ void SmoUpdater::Drain() {
   // the caller replays every shard itself. All shards advance together --
   // a deferred merge in one shard may wait on a split in another. A round
   // that applies nothing means a writer is mid-publish; yield instead of
-  // burning the core it may need.
+  // burning the core it may need. The stuck escape mirrors the live path:
+  // entries no pass can apply (exhausted search pool) must not spin forever.
+  int stuck = 0;
   while (!Drained()) {
     size_t applied = 0;
     for (uint32_t u = 0; u < opts_.shards; ++u) {
@@ -349,9 +407,14 @@ void SmoUpdater::Drain() {
       }
     }
     EpochManager::Instance().TryAdvanceAndReclaim();
-    if (applied == 0) {
-      std::this_thread::yield();
+    if (applied != 0) {
+      stuck = 0;
+      continue;
     }
+    if (++stuck >= 65536) {
+      break;  // nothing appliable; pending entries stay in the rings
+    }
+    std::this_thread::yield();
   }
 }
 

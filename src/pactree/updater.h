@@ -100,6 +100,13 @@ class SmoUpdater {
   // the anchor's range: that lock serializes same-anchor publishes, which is
   // what makes seq order equal causal order per anchor (see header comment).
   void Publish(SmoLogEntry* e);
+  // Unwinds a logged-but-never-published entry when the SMO aborts between Log
+  // and Publish (the split's data-node allocation failed). Durably zeroes the
+  // payload, then assigns a seq with applied already set so the live ring
+  // retires the slot; the anchor map is untouched (nothing was published).
+  // After a crash *before* Cancel, recovery classifies the entry as a
+  // pre-allocation split (other_raw == 0) and drops it -- same net effect.
+  void Cancel(SmoLogEntry* e);
   // Synchronous-mode path: applies |e| to the search layer on the calling
   // thread and retires the writer's ring entries.
   void ApplySync(SmoLogEntry* e);
@@ -125,8 +132,10 @@ class SmoUpdater {
  private:
   // Per-(thread, tree) ring assignment, routed to the thread's NUMA shard.
   uint32_t WriterSlot();
-  // Applies one entry to the search layer and marks it applied.
-  void Apply(SmoLogEntry* e);
+  // Applies one entry to the search layer and marks it applied. Returns false
+  // when the trie mutation failed on search-layer pool exhaustion (kFull); the
+  // entry stays pending and a later pass retries it.
+  bool Apply(SmoLogEntry* e);
   // Retires contiguously-applied entries and advances ring heads (shard only).
   void AdvanceHeads(uint32_t shard);
   // True once the same-anchor predecessor with seq |pred| has been applied.

@@ -1,5 +1,8 @@
 #include "src/pmem/heap.h"
 
+#include <cstdio>
+
+#include "src/common/failpoint.h"
 #include "src/nvm/config.h"
 #include "src/nvm/topology.h"
 
@@ -14,7 +17,7 @@ std::string PoolPath(const std::string& name, uint32_t node) {
 
 std::unique_ptr<PmemHeap> PmemHeap::OpenOrCreate(const std::string& name,
                                                  const PmemHeapOptions& opts,
-                                                 bool* created) {
+                                                 bool* created, std::string* error) {
   auto heap = std::unique_ptr<PmemHeap>(new PmemHeap());
   heap->name_ = name;
   heap->opts_ = opts;
@@ -35,20 +38,31 @@ std::unique_ptr<PmemHeap> PmemHeap::OpenOrCreate(const std::string& name,
     uint16_t pool_id = static_cast<uint16_t>(opts.pool_id_base + n);
     std::string path = PoolPath(name, n);
     std::unique_ptr<PmemPool> pool;
+    std::string pool_error;
     if (!opts.dram && NvmPoolFile::Exists(path)) {
-      Status st = PmemPool::Open(path, pool_id, n, popts, &pool);
+      Status st = PmemPool::Open(path, pool_id, n, popts, &pool, &pool_error);
       if (st != Status::kOk) {
         // The file exists but is unusable (truncated, bad magic, foreign pool
         // id). Recreating would silently discard whatever data it held, so
         // surface the failure instead.
+        std::fprintf(stderr, "pactree: heap '%s' open failed: %s\n", name.c_str(),
+                     pool_error.c_str());
+        if (error != nullptr) {
+          *error = pool_error;
+        }
         return nullptr;
       }
     }
     if (pool == nullptr) {
-      pool = PmemPool::Create(path, pool_id, n, popts);
+      pool = PmemPool::Create(path, pool_id, n, popts, &pool_error);
       did_create = true;
     }
     if (pool == nullptr) {
+      std::fprintf(stderr, "pactree: heap '%s' create failed: %s\n", name.c_str(),
+                   pool_error.c_str());
+      if (error != nullptr) {
+        *error = pool_error;
+      }
       return nullptr;
     }
     heap->pools_.push_back(std::move(pool));
@@ -83,13 +97,19 @@ PPtr<void> PmemHeap::Alloc(size_t size) {
   if (!p.IsNull()) {
     return p;
   }
-  // Local pool exhausted: fall back to the other nodes.
+  // Local pool exhausted: fall back to the other nodes. Fail point
+  // "heap/fallback": firing suppresses the fallback, simulating every node's
+  // pool being as full as the local one.
+  if (PACTREE_FAILPOINT("heap/fallback")) {
+    return PPtr<void>::Null();
+  }
   for (const auto& pool : pools_) {
     if (pool.get() == local) {
       continue;
     }
     p = pool->Alloc(size);
     if (!p.IsNull()) {
+      remote_allocs_.fetch_add(1, std::memory_order_relaxed);
       return p;
     }
   }
@@ -102,12 +122,16 @@ PPtr<void> PmemHeap::AllocTo(PPtr<uint64_t> dest, size_t size) {
   if (!p.IsNull()) {
     return p;
   }
+  if (PACTREE_FAILPOINT("heap/fallback")) {
+    return PPtr<void>::Null();
+  }
   for (const auto& pool : pools_) {
     if (pool.get() == local) {
       continue;
     }
     p = pool->AllocTo(dest, size);
     if (!p.IsNull()) {
+      remote_allocs_.fetch_add(1, std::memory_order_relaxed);
       return p;
     }
   }

@@ -5,6 +5,8 @@
 #ifndef PACTREE_SRC_PMEM_HEAP_H_
 #define PACTREE_SRC_PMEM_HEAP_H_
 
+#include <algorithm>
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,10 +31,12 @@ struct PmemHeapOptions {
 class PmemHeap {
  public:
   // Opens the heap if its files exist, otherwise creates it. |created| (may be
-  // null) reports which happened. Returns null on failure.
+  // null) reports which happened. Returns null on failure; |error| (may be
+  // null) then receives the failing syscall, errno, and pool path.
   static std::unique_ptr<PmemHeap> OpenOrCreate(const std::string& name,
                                                 const PmemHeapOptions& opts,
-                                                bool* created = nullptr);
+                                                bool* created = nullptr,
+                                                std::string* error = nullptr);
 
   // Removes the heap's backing files.
   static void Destroy(const std::string& name);
@@ -75,7 +79,36 @@ class PmemHeap {
     for (const auto& p : pools_) {
       s += PoolNvmStats(p->pool_id());
     }
+    s.heap_remote_allocs = RemoteAllocs();
     return s;
+  }
+
+  // Allocations that fell back to a non-local sub-pool because the NUMA-local
+  // pool was exhausted. Nonzero means NUMA locality (GS2) is degrading: the
+  // returned blocks generate remote media traffic for their whole lifetime.
+  uint64_t RemoteAllocs() const {
+    return remote_allocs_.load(std::memory_order_relaxed);
+  }
+
+  // Highest chunk-used fraction across the sub-pools -- the capacity-pressure
+  // signal for watermark policy. The max (not the mean) matters: one exhausted
+  // sub-pool fails its writers' allocations regardless of siblings' space.
+  double MaxUsedFraction() const {
+    double f = 0.0;
+    for (const auto& p : pools_) {
+      f = std::max(f, p->UsedFraction());
+    }
+    return f;
+  }
+
+  // Failed Alloc/AllocTo calls summed over the sub-pools. A post-fallback
+  // failure counts once per pool it was attempted against.
+  uint64_t AllocFailures() const {
+    uint64_t n = 0;
+    for (const auto& p : pools_) {
+      n += p->AllocFailures();
+    }
+    return n;
   }
 
   // Unretired alloc/free log entries across all sub-pools (zero when drained).
@@ -93,6 +126,7 @@ class PmemHeap {
   std::string name_;
   PmemHeapOptions opts_;
   std::vector<std::unique_ptr<PmemPool>> pools_;
+  std::atomic<uint64_t> remote_allocs_{0};
 };
 
 }  // namespace pactree

@@ -2,10 +2,13 @@
 
 #include <sys/mman.h>
 
+#include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <cstring>
 
 #include "src/common/compiler.h"
+#include "src/common/failpoint.h"
 #include "src/nvm/persist.h"
 #include "src/nvm/stats.h"
 #include "src/pmem/registry.h"
@@ -33,7 +36,8 @@ size_t SizeClassFor(size_t size) {
 // ---------------------------------------------------------------------------
 
 std::unique_ptr<PmemPool> PmemPool::Create(const std::string& path, uint16_t pool_id,
-                                           uint32_t node, const PmemPoolOptions& opts) {
+                                           uint32_t node, const PmemPoolOptions& opts,
+                                           std::string* error) {
   assert(pool_id != 0 && "pool id 0 is the null pool");
   auto pool = std::unique_ptr<PmemPool>(new PmemPool());
   size_t size = opts.size != 0 ? opts.size : (64ULL << 20);
@@ -44,6 +48,9 @@ std::unique_ptr<PmemPool> PmemPool::Create(const std::string& path, uint16_t poo
     void* base = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
     if (base == MAP_FAILED) {
+      if (error != nullptr) {
+        *error = std::string("mmap(anonymous DRAM pool): ") + std::strerror(errno);
+      }
       return nullptr;
     }
     pool->dram_base_ = base;
@@ -52,6 +59,9 @@ std::unique_ptr<PmemPool> PmemPool::Create(const std::string& path, uint16_t poo
     pool->node_ = node;
   } else {
     if (!pool->file_.Create(path, size, node, pool_id)) {
+      if (error != nullptr) {
+        *error = pool->file_.last_error();
+      }
       return nullptr;
     }
     pool->base_ = pool->file_.base();
@@ -59,15 +69,26 @@ std::unique_ptr<PmemPool> PmemPool::Create(const std::string& path, uint16_t poo
     pool->node_ = node;
   }
   if (!pool->InitNew(pool_id, node, size)) {
+    if (error != nullptr) {
+      *error = path + ": pool size " + std::to_string(size) +
+               " too small for one chunk plus metadata";
+    }
     return nullptr;
   }
   return pool;
 }
 
 Status PmemPool::Open(const std::string& path, uint16_t pool_id, uint32_t node,
-                      const PmemPoolOptions& opts, std::unique_ptr<PmemPool>* out) {
+                      const PmemPoolOptions& opts, std::unique_ptr<PmemPool>* out,
+                      std::string* error) {
   out->reset();
+  if (error != nullptr) {
+    error->clear();
+  }
   if (!NvmPoolFile::Exists(path)) {
+    if (error != nullptr) {
+      *error = path + ": pool file does not exist";
+    }
     return Status::kNotFound;
   }
   auto pool = std::unique_ptr<PmemPool>(new PmemPool());
@@ -76,7 +97,10 @@ Status PmemPool::Open(const std::string& path, uint16_t pool_id, uint32_t node,
   if (!pool->file_.Open(path, node, pool_id)) {
     // The file exists but cannot be mapped (zero-length, unreadable): treat a
     // present-but-unmappable pool as corrupt so callers never recreate over it
-    // silently.
+    // silently. The pool-file layer recorded the syscall + errno + path.
+    if (error != nullptr) {
+      *error = pool->file_.last_error();
+    }
     return Status::kCorrupted;
   }
   pool->base_ = pool->file_.base();
@@ -84,9 +108,15 @@ Status PmemPool::Open(const std::string& path, uint16_t pool_id, uint32_t node,
   pool->node_ = node;
   Status st = pool->ValidateHeader(pool_id);
   if (st != Status::kOk) {
+    if (error != nullptr) {
+      *error = path + ": superblock validation failed (bad magic, pool id, or layout)";
+    }
     return st;
   }
   if (!pool->AttachExisting(pool_id, !opts.defer_log_recovery)) {
+    if (error != nullptr) {
+      *error = path + ": attach failed (header mutated between validate and attach)";
+    }
     return Status::kCorrupted;
   }
   *out = std::move(pool);
@@ -400,6 +430,13 @@ int PmemPool::AcquireChunk(size_t class_idx) {
   }
   uint32_t c = free_chunks_.back();
   free_chunks_.pop_back();
+  // Scrub the bitmap before assignment: the chunk may carry a stale
+  // whole-chunk span word, or claim bits from a crash-interrupted release.
+  uint64_t* bm = BitmapOf(c);
+  std::memset(bm, 0, kBitmapWordsPerChunk * sizeof(uint64_t));
+  if (crash_consistent_) {
+    PersistFence(bm, kBitmapWordsPerChunk * sizeof(uint64_t));
+  }
   uint32_t* states = ChunkStates();
   states[c] = static_cast<uint32_t>(class_idx) + 1;
   if (crash_consistent_) {
@@ -487,15 +524,23 @@ uint64_t PmemPool::AllocOffset(size_t size, bool persist_meta) {
 }
 
 PPtr<void> PmemPool::AllocInternal(size_t size, bool persist_meta) {
-  uint64_t off = AllocOffset(size, persist_meta);
+  // Fail point "pmem/alloc": injected exhaustion, indistinguishable from a
+  // genuinely full pool to every caller.
+  uint64_t off = PACTREE_FAILPOINT("pmem/alloc") ? 0 : AllocOffset(size, persist_meta);
   if (off == 0) {
+    alloc_failures_.fetch_add(1, std::memory_order_relaxed);
     return PPtr<void>::Null();
   }
   void* p = static_cast<char*>(base_) + off;
   std::memset(p, 0, size <= kSizeClasses[kNumClasses - 1] ? kSizeClasses[SizeClassFor(size)]
                                                           : size);
   allocs_.fetch_add(1, std::memory_order_relaxed);
-  live_bytes_.fetch_add(BlockSize(off), std::memory_order_relaxed);
+  uint64_t live = live_bytes_.fetch_add(BlockSize(off), std::memory_order_relaxed) +
+                  BlockSize(off);
+  uint64_t hwm = hwm_live_bytes_.load(std::memory_order_relaxed);
+  while (live > hwm &&
+         !hwm_live_bytes_.compare_exchange_weak(hwm, live, std::memory_order_relaxed)) {
+  }
   LocalNvmCounters(pool_id_).alloc_ops++;
   return PPtr<void>::FromParts(pool_id_, off);
 }
@@ -531,8 +576,15 @@ PPtr<void> PmemPool::AllocTo(PPtr<uint64_t> dest, size_t size) {
     }
     return block;
   }
+  // Fail point "pmem/alloc_to": fail the malloc-to protocol before any slot or
+  // block is reserved (nothing to unwind; callers see plain exhaustion).
+  if (PACTREE_FAILPOINT("pmem/alloc_to")) {
+    alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+    return PPtr<void>::Null();
+  }
   int slot_idx = AcquireLogSlot();
   if (slot_idx < 0) {
+    alloc_failures_.fetch_add(1, std::memory_order_relaxed);
     return PPtr<void>::Null();
   }
   // (1) reserve a block, bitmap *not* yet persisted: until the log entry below
@@ -645,13 +697,16 @@ void PmemPool::FreeInternal(uint64_t offset, bool log) {
       PersistFence(&bm[w], sizeof(uint64_t));
     }
     if ((prev & mask) != 0 && !free_counts_.empty()) {
-      free_counts_[chunk].fetch_add(1, std::memory_order_relaxed);
+      uint32_t now = free_counts_[chunk].fetch_add(1, std::memory_order_relaxed) + 1;
       // Put the chunk on its class's partial list so the space is found again.
       if (classes_[class_idx].current.load(std::memory_order_relaxed) !=
               static_cast<int64_t>(chunk) &&
           !in_partial_[chunk].exchange(1, std::memory_order_acq_rel)) {
         std::lock_guard<std::mutex> lock(mu_);
         classes_[class_idx].partial.push_back(chunk);
+      }
+      if (now == static_cast<uint32_t>(kChunkSize / block_size)) {
+        TryReleaseEmptyChunk(chunk, class_idx);
       }
     }
   }
@@ -665,6 +720,62 @@ void PmemPool::FreeInternal(uint64_t offset, bool log) {
   }
 }
 
+void PmemPool::TryReleaseEmptyChunk(uint32_t chunk, size_t class_idx) {
+  uint32_t blocks = static_cast<uint32_t>(kChunkSize / kSizeClasses[class_idx]);
+  uint32_t words = (blocks + 63) / 64;
+  std::lock_guard<std::mutex> lock(mu_);
+  ClassState& cs = classes_[class_idx];
+  if (cs.current.load(std::memory_order_relaxed) == static_cast<int64_t>(chunk)) {
+    return;  // the class's active allocation target stays resident
+  }
+  if (ChunkStates()[chunk] != static_cast<uint32_t>(class_idx) + 1 ||
+      free_counts_[chunk].load(std::memory_order_relaxed) != blocks) {
+    return;
+  }
+  // Claim every block word with a 0 -> ~0 CAS. Allocators reach a chunk only
+  // through the class's |current| (excluded above) or AcquireChunk (blocked on
+  // mu_), but a thread that read |current| before it moved on can still be
+  // inside TryAllocInChunk: once a word reads full it cannot win a CAS there,
+  // and if it won one first, our claim fails and the release aborts. The
+  // claim stores are volatile-only -- a crash mid-claim durably shows at
+  // worst a superset of set bits, which recovery reads as allocated blocks
+  // (bounded leak), never as a double assignment.
+  uint64_t* bm = BitmapOf(chunk);
+  uint32_t claimed = 0;
+  bool aborted = false;
+  for (; claimed < words; ++claimed) {
+    uint64_t expected = 0;
+    if (!AtomicRef64(&bm[claimed])
+             .compare_exchange_strong(expected, ~0ULL, std::memory_order_acq_rel)) {
+      aborted = true;
+      break;
+    }
+  }
+  if (aborted) {
+    for (uint32_t w = 0; w < claimed; ++w) {
+      AtomicRef64(&bm[w]).store(0, std::memory_order_release);
+    }
+    return;  // a racing allocation took a block; the chunk stays assigned
+  }
+  auto& part = cs.partial;
+  part.erase(std::remove(part.begin(), part.end(), chunk), part.end());
+  in_partial_[chunk].store(0, std::memory_order_relaxed);
+  free_counts_[chunk].store(0, std::memory_order_relaxed);
+  uint32_t* states = ChunkStates();
+  states[chunk] = kChunkStateFree;
+  if (crash_consistent_) {
+    PersistFence(&states[chunk], sizeof(uint32_t));
+  }
+  for (uint32_t w = 0; w < words; ++w) {
+    AtomicRef64(&bm[w]).store(0, std::memory_order_relaxed);
+  }
+  if (crash_consistent_) {
+    PersistFence(bm, words * sizeof(uint64_t));
+  }
+  free_chunks_.push_back(chunk);
+  chunks_released_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void PmemPool::Free(uint64_t offset) {
   uint64_t bytes = BlockSize(offset);
   FreeInternal(offset, /*log=*/true);
@@ -673,11 +784,24 @@ void PmemPool::Free(uint64_t offset) {
   LocalNvmCounters(pool_id_).free_ops++;
 }
 
+double PmemPool::UsedFraction() const {
+  uint32_t total = header()->chunk_count;
+  if (total == 0) {
+    return 1.0;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<double>(total - free_chunks_.size()) / static_cast<double>(total);
+}
+
 PmemPoolStats PmemPool::Stats() const {
   PmemPoolStats s;
   s.allocs = allocs_.load(std::memory_order_relaxed);
   s.frees = frees_.load(std::memory_order_relaxed);
   s.live_bytes = live_bytes_.load(std::memory_order_relaxed);
+  s.alloc_failures = alloc_failures_.load(std::memory_order_relaxed);
+  s.hwm_live_bytes = hwm_live_bytes_.load(std::memory_order_relaxed);
+  s.chunks_released = chunks_released_.load(std::memory_order_relaxed);
+  s.used_fraction = UsedFraction();
   return s;
 }
 

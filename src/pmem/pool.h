@@ -99,19 +99,29 @@ struct PmemPoolStats {
   uint64_t allocs = 0;
   uint64_t frees = 0;
   uint64_t live_bytes = 0;
+  uint64_t alloc_failures = 0;   // Alloc/AllocTo calls that returned Null
+  uint64_t hwm_live_bytes = 0;   // high watermark of live_bytes
+  uint64_t chunks_released = 0;  // emptied size-class chunks returned to free
+  double used_fraction = 0.0;    // assigned chunks / total chunks
 };
 
 class PmemPool {
  public:
-  // Creates a fresh pool file (truncates an existing one).
+  // Creates a fresh pool file (truncates an existing one). On failure returns
+  // nullptr and, when |error| is non-null, stores a description naming the
+  // failing syscall, errno, and path.
   static std::unique_ptr<PmemPool> Create(const std::string& path, uint16_t pool_id,
-                                          uint32_t node, const PmemPoolOptions& opts);
+                                          uint32_t node, const PmemPoolOptions& opts,
+                                          std::string* error = nullptr);
   // Opens an existing pool, runs allocation-log recovery, bumps the
   // generation. Validates the superblock (file size, magic, pool id, layout
   // offsets) before touching anything else, so a truncated, zero-length, or
   // foreign file yields Status::kCorrupted / kIoError instead of a crash.
+  // |error| (optional) receives the failing syscall + errno + path for I/O
+  // failures, or which validation step rejected the superblock.
   static Status Open(const std::string& path, uint16_t pool_id, uint32_t node,
-                     const PmemPoolOptions& opts, std::unique_ptr<PmemPool>* out);
+                     const PmemPoolOptions& opts, std::unique_ptr<PmemPool>* out,
+                     std::string* error = nullptr);
 
   ~PmemPool();
   PmemPool(const PmemPool&) = delete;
@@ -154,6 +164,21 @@ class PmemPool {
   // Total bytes of blocks currently allocated (approximate under concurrency).
   uint64_t LiveBytes() const { return live_bytes_.load(std::memory_order_relaxed); }
 
+  // High watermark of LiveBytes() over the pool's lifetime (volatile).
+  uint64_t HighWatermark() const {
+    return hwm_live_bytes_.load(std::memory_order_relaxed);
+  }
+
+  // Alloc/AllocTo calls that returned Null (OOM or an injected fail point).
+  uint64_t AllocFailures() const {
+    return alloc_failures_.load(std::memory_order_relaxed);
+  }
+
+  // Fraction of chunks assigned to a size class or whole-chunk allocation
+  // (0.0 = empty, 1.0 = every chunk taken). Capacity-pressure signal: a pool
+  // with no free chunk fails any allocation its partial chunks cannot serve.
+  double UsedFraction() const;
+
  private:
   PmemPool() = default;
 
@@ -170,6 +195,13 @@ class PmemPool {
   PPtr<void> AllocInternal(size_t size, bool persist_meta);
   void PersistBlockMetadata(uint64_t offset);
   void FreeInternal(uint64_t offset, bool log);
+  // Returns a fully-empty size-class chunk to the free list so another class
+  // (or a whole-chunk allocation) can reuse it. Without this, UsedFraction is
+  // monotone and deletes can never bring a tree back under the pool-pressure
+  // resume watermark. The live-path analogue of RebuildVolatileState's
+  // empty-chunk release; no-op when the chunk is the class's active target or
+  // a racing allocation claims a block mid-release.
+  void TryReleaseEmptyChunk(uint32_t chunk, size_t class_idx);
 
   AllocLogSlot* Logs() const;
   uint32_t* ChunkStates() const;
@@ -205,6 +237,9 @@ class PmemPool {
   std::atomic<uint64_t> allocs_{0};
   std::atomic<uint64_t> frees_{0};
   std::atomic<uint64_t> live_bytes_{0};
+  std::atomic<uint64_t> alloc_failures_{0};
+  std::atomic<uint64_t> hwm_live_bytes_{0};
+  std::atomic<uint64_t> chunks_released_{0};
 };
 
 // Routes a free to the owning pool (by pool id). Safe for any PPtr returned by

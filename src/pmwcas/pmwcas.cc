@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/common/compiler.h"
+#include "src/common/failpoint.h"
 #include "src/nvm/persist.h"
 #include "src/pmem/registry.h"
 #include "src/runtime/thread_context.h"
@@ -54,6 +55,11 @@ PmwcasDescriptor* PmwcasPool::DescOf(uint64_t word) const {
 }
 
 PmwcasDescriptor* PmwcasPool::Acquire() {
+  // Fail point "pmwcas/descriptor": simulated descriptor exhaustion, exercised
+  // by the Run() retry/exhausted contract exactly like a genuinely full pool.
+  if (PACTREE_FAILPOINT("pmwcas/descriptor")) {
+    return nullptr;
+  }
   // Per-(thread, pool) cursor so concurrent pools do not share scan positions.
   uint64_t& start = ThreadContext::Current().InstanceWord(this);
   for (size_t i = 0; i < capacity_; ++i) {

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/failpoint.h"
 #include "src/common/random.h"
 #include "src/nvm/config.h"
 #include "src/nvm/stats.h"
@@ -39,6 +40,7 @@ class PmwcasTest : public ::testing::Test {
   }
 
   void TearDown() override {
+    FailPoints::DisarmAll();
     pool_.reset();
     EpochManager::Instance().DrainAll();
     heap_.reset();
@@ -145,6 +147,54 @@ TEST_F(PmwcasTest, RecoveryRollsForwardAndBack) {
   pool_->Recover();
   EXPECT_EQ(words_[0], 100u) << "succeeded descriptor rolls forward";
   EXPECT_EQ(words_[8], 2u) << "undecided descriptor rolls back";
+}
+
+TEST_F(PmwcasTest, DescriptorExhaustionReportsAndRetrySucceeds) {
+  // The "pmwcas/descriptor" fail point makes every Acquire fail, exactly like
+  // a genuinely full pool. Run's internal reclamation retries cannot help, so
+  // it must give up with *exhausted set -- and leave the target word
+  // untouched. After disarming (the caller has unwound its epoch guard and
+  // reclamation caught up), the same operation succeeds.
+  words_[0] = 5;
+  bool exhausted = false;
+  PmwcasWordEntry e = {ToPPtr(&words_[0]).raw, 5, 9};
+  FailPoints::Arm("pmwcas/descriptor", FailPointTrigger::EveryNth(1));
+  EXPECT_FALSE(pool_->Run(&e, 1, &exhausted));
+  EXPECT_TRUE(exhausted);
+  FailPoints::DisarmAll();
+  EXPECT_EQ(pool_->ReadWord(&words_[0]), 5u) << "exhaustion must not mutate";
+  exhausted = false;
+  EXPECT_TRUE(pool_->Run(&e, 1, &exhausted));
+  EXPECT_FALSE(exhausted);
+  EXPECT_EQ(pool_->ReadWord(&words_[0]), 9u);
+}
+
+TEST_F(PmwcasTest, TinyPoolExhaustsUnderPinnedEpochAndRecoversAfterUnwind) {
+  // A capacity-1 pool: the first Run consumes the only descriptor and defers
+  // its recycling by an epoch grace period. A caller that keeps its epoch
+  // guard pinned blocks reclamation forever, so the next Run must report
+  // exhaustion instead of spinning -- the header contract that callers MUST
+  // unwind far enough to drop their guard. Dropping it lets Run's internal
+  // TryAdvanceAndReclaim recycle the descriptor and the retry succeeds.
+  uint64_t* anchor2 = &words_[32];
+  *anchor2 = 0;
+  PmwcasPool tiny(heap_.get(), anchor2, /*capacity=*/1);
+  words_[0] = 1;
+  PmwcasWordEntry first = {ToPPtr(&words_[0]).raw, 1, 2};
+  ASSERT_TRUE(tiny.Run(&first, 1));
+  bool exhausted = false;
+  {
+    EpochGuard guard;  // pins the grace period: the descriptor cannot recycle
+    PmwcasWordEntry second = {ToPPtr(&words_[0]).raw, 2, 3};
+    EXPECT_FALSE(tiny.Run(&second, 1, &exhausted));
+    EXPECT_TRUE(exhausted);
+    EXPECT_EQ(tiny.ReadWord(&words_[0]), 2u);
+  }
+  exhausted = false;
+  PmwcasWordEntry retry = {ToPPtr(&words_[0]).raw, 2, 3};
+  EXPECT_TRUE(tiny.Run(&retry, 1, &exhausted));
+  EXPECT_FALSE(exhausted);
+  EXPECT_EQ(tiny.ReadWord(&words_[0]), 3u);
 }
 
 // --- BzTree ------------------------------------------------------------------
